@@ -1,0 +1,53 @@
+// Command pingpong runs the MPI ping-pong microbenchmark of paper Section 3
+// on the simulated platform and prints the half round-trip times together
+// with the Table 1 model predictions (Figure 3), then derives the platform
+// parameters (Table 2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fitting"
+	"repro/internal/logp"
+	"repro/internal/machine"
+)
+
+func main() {
+	rounds := flag.Int("rounds", 4, "round trips per message size")
+	onchip := flag.Bool("onchip", false, "measure the on-chip path instead of off-node")
+	flag.Parse()
+
+	mach := machine.XT4()
+	path := logp.OffNode
+	if *onchip {
+		path = logp.OnChip
+	}
+	sizes := fitting.DefaultSizes()
+	meas, err := fitting.Sweep(mach, path, sizes, *rounds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pingpong:", err)
+		os.Exit(1)
+	}
+	model := fitting.ModelCurve(mach.Params, path, sizes)
+	fmt.Printf("# %s ping-pong on %s\n", path, mach.Name)
+	fmt.Printf("%10s %14s %14s\n", "bytes", "simulated(µs)", "model(µs)")
+	for i := range meas {
+		fmt.Printf("%10d %14.4f %14.4f\n", meas[i].Bytes, meas[i].Time, model[i].Time)
+	}
+
+	d, err := fitting.DeriveTable2(mach)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pingpong:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\n# derived platform parameters (Table 2)")
+	fmt.Printf("G      = %.6f µs/byte (1/G = %.2f GB/s)\n", d.G, 1/d.G/1e3)
+	fmt.Printf("L      = %.4f µs\n", d.L)
+	fmt.Printf("o      = %.4f µs\n", d.O)
+	fmt.Printf("Gcopy  = %.6f µs/byte\n", d.Gcopy)
+	fmt.Printf("Gdma   = %.6f µs/byte\n", d.Gdma)
+	fmt.Printf("ocopy  = %.4f µs\n", d.Ocopy)
+	fmt.Printf("o-chip = %.4f µs\n", d.Ochip)
+}

@@ -1,0 +1,75 @@
+// Command planner answers the procurement and configuration questions of
+// paper Section 5.2 for a particle transport workload: given an available
+// processor count, it reports the scaling curve, the throughput of
+// partitioned parallel simulations, and the optimal partition under the
+// R/X and R²/X criteria.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+)
+
+func main() {
+	app := flag.String("app", "sweep3d", "benchmark: sweep3d, chimaera")
+	cube := flag.Int("cube", 1000, "problem size (cube edge, cells)")
+	pavail := flag.Int("pavail", 131072, "available processor count")
+	steps := flag.Float64("steps", 1e4, "time steps per simulation")
+	groups := flag.Float64("groups", 30, "energy groups (multiplies runtime)")
+	minPart := flag.Int("minpartition", 4096, "smallest partition to consider")
+	flag.Parse()
+
+	g := grid.Cube(*cube)
+	var bm apps.Benchmark
+	switch *app {
+	case "sweep3d":
+		bm = apps.Sweep3D(g, 2)
+	case "chimaera":
+		bm = apps.Chimaera(g, 2)
+	default:
+		fmt.Fprintf(os.Stderr, "planner: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+	mach := machine.XT4()
+	eval := func(p int) (float64, error) {
+		rep, err := core.New(bm.App, mach).EvaluateP(p)
+		if err != nil {
+			return 0, err
+		}
+		return rep.Total * *groups * *steps, nil
+	}
+
+	fmt.Printf("# %s %v on %s, %g steps × %g groups\n", bm.App.Name, g, mach.Name, *steps, *groups)
+	fmt.Printf("%10s %14s %16s %12s %12s\n", "partition", "jobs", "R (days)", "R/X (norm)", "steps/month")
+	var jobs []int
+	for j := 1; *pavail/j >= *minPart; j *= 2 {
+		jobs = append(jobs, j)
+	}
+	points, err := metrics.Partitions(*pavail, jobs, eval)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "planner:", err)
+		os.Exit(1)
+	}
+	minRX := points[0].RoverX
+	for _, p := range points {
+		if p.RoverX < minRX {
+			minRX = p.RoverX
+		}
+	}
+	for _, p := range points {
+		fmt.Printf("%10d %14d %16.2f %12.3f %12.1f\n",
+			p.Partition, p.Jobs, p.R/1e6/86400, p.RoverX/minRX,
+			metrics.TimeStepsPerMonth(p.R / *steps))
+	}
+	a, _ := metrics.Optimal(points, metrics.MinRoverX)
+	b, _ := metrics.Optimal(points, metrics.MinR2overX)
+	fmt.Printf("\nrecommendation: min R/X → %d jobs on %d-core partitions; min R²/X → %d jobs on %d-core partitions\n",
+		a.Jobs, a.Partition, b.Jobs, b.Partition)
+}

@@ -1,0 +1,79 @@
+// Command sweepsim executes a wavefront benchmark on the discrete-event
+// MPI simulator and compares the result with the plug-and-play model
+// prediction — the reproduction's analogue of running the real code on the
+// Cray XT4 and validating the model against it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+	"repro/internal/simnet"
+)
+
+func main() {
+	app := flag.String("app", "sweep3d", "benchmark: lu, sweep3d, chimaera")
+	cube := flag.Int("cube", 64, "problem size (cube edge, cells)")
+	p := flag.Int("p", 64, "total processor (core) count")
+	htile := flag.Int("htile", 2, "tile height")
+	iters := flag.Int("iters", 2, "iterations to simulate")
+	cores := flag.Int("cores", 2, "cores per node")
+	flag.Parse()
+
+	g := grid.Cube(*cube)
+	var bm apps.Benchmark
+	switch *app {
+	case "lu":
+		bm = apps.LU(g)
+	case "sweep3d":
+		bm = apps.Sweep3D(g, *htile)
+	case "chimaera":
+		bm = apps.Chimaera(g, *htile)
+	default:
+		fmt.Fprintf(os.Stderr, "sweepsim: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+	bm = bm.WithIterations(*iters)
+
+	mach, err := machine.XT4MultiCore(*cores)
+	check(err)
+	dec, err := grid.SquareDecomposition(g, *p)
+	check(err)
+
+	rep, err := core.New(bm.App, mach).Evaluate(dec)
+	check(err)
+
+	sched, err := bm.Schedule(dec, *iters)
+	check(err)
+	topo := simnet.NewTopology(mach.Params, dec.P(), simnet.GridPlacement(dec, mach))
+	sim := simmpi.New(topo)
+	for r, prog := range sched.Programs() {
+		sim.SetProgram(r, prog)
+	}
+	res, err := sim.Run()
+	check(err)
+
+	fmt.Printf("app=%s grid=%v P=%d (%dx%d) cores/node=%d Htile=%d iterations=%d\n",
+		bm.App.Name, g, dec.P(), dec.N, dec.M, mach.CoresPerNode, bm.App.Htile, *iters)
+	fmt.Printf("simulated:   %12.1f µs  (%.4f s)\n", res.Time, res.Time/1e6)
+	fmt.Printf("model:       %12.1f µs  (%.4f s)\n", rep.Total, rep.Total/1e6)
+	fmt.Printf("error:       %+11.2f%%\n", (rep.Total-res.Time)/res.Time*100)
+	fmt.Printf("breakdown:   fill=%.1fµs stack=%.1fµs non-wavefront=%.1fµs per iteration\n",
+		rep.FillTimePerIter, float64(bm.App.NSweeps)*rep.TStack, rep.TNonWavefront)
+	fmt.Printf("model comm:  %.1f%% of iteration\n", rep.CommPerIter/rep.TimePerIteration*100)
+	fmt.Printf("simulator:   %d events, %d messages, %d bus waits (%.1fµs total wait)\n",
+		res.Events, res.Sends, res.BusQueued, res.BusWait)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepsim:", err)
+		os.Exit(1)
+	}
+}

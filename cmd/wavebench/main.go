@@ -1,0 +1,55 @@
+// Command wavebench regenerates the paper's tables and figures: it runs
+// the experiment drivers of internal/experiments and prints the rows each
+// paper artefact plots.
+//
+// Usage:
+//
+//	wavebench -list
+//	wavebench -exp fig5
+//	wavebench -exp all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id to run (see -list), or 'all'")
+	quick := flag.Bool("quick", false, "reduced problem/processor sizes for fast runs")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Println("  " + id)
+		}
+		return
+	}
+
+	if *exp == "all" {
+		tables, err := experiments.All(*quick)
+		for _, t := range tables {
+			t.Render(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wavebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	for _, id := range strings.Split(*exp, ",") {
+		t, err := experiments.Run(strings.TrimSpace(id), *quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wavebench:", err)
+			os.Exit(1)
+		}
+		t.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,58 @@
+// Bottleneck: break the predicted execution time into computation,
+// communication and pipeline-fill components (paper Sections 5.4–5.5,
+// Figures 11–12), and project the benefit of the pipelined energy-group
+// sweep re-design before implementing it.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/machine"
+)
+
+func main() {
+	mach := machine.XT4()
+
+	fmt.Println("Chimaera 240³ cost breakdown per time step:")
+	bm := apps.Chimaera(grid.Cube(240), 2)
+	for _, p := range []int{1024, 4096, 16384, 32768} {
+		rep, err := core.New(bm.App, mach).EvaluateP(p)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  P=%-6d total=%6.2fs  comp=%6.2fs  comm=%6.2fs (%4.1f%%)  fill=%5.2fs\n",
+			p, rep.Total/1e6, rep.ComputePerIter*float64(bm.App.Iterations)/1e6,
+			rep.CommPerIter*float64(bm.App.Iterations)/1e6,
+			rep.CommPerIter/rep.TimePerIteration*100,
+			rep.FillTimePerIter*float64(bm.App.Iterations)/1e6)
+	}
+
+	fmt.Println("\nsweep re-design: pipelined energy groups (Sweep3D, 4×4×1000 cells/processor, 30 groups):")
+	const p = 16384
+	n, m := 128, 128
+	g := grid.NewGrid(4*n, 4*m, 1000)
+	dec := grid.MustDecompose(g, n, m)
+	seq := apps.Sweep3D(g, 2)
+	pip := seq.App.WithSweepStructure(8*30, 2, 2) // 240 sweeps, nfull=2, ndiag=2
+
+	seqRep, err := core.New(seq.App, mach).Evaluate(dec)
+	if err != nil {
+		panic(err)
+	}
+	pipRep, err := core.New(pip, mach).Evaluate(dec)
+	if err != nil {
+		panic(err)
+	}
+	seqTotal := seqRep.Total * 30 // 30 sequential group solves
+	fmt.Printf("  sequential groups: %8.2f s/step (fill %.2f s, %.1f%%)\n",
+		seqTotal/1e6, seqRep.FillTimePerIter*float64(seq.App.Iterations)*30/1e6,
+		seqRep.FillTimePerIter*float64(seq.App.Iterations)*30/seqTotal*100)
+	fmt.Printf("  pipelined groups:  %8.2f s/step (fill %.2f s)\n",
+		pipRep.Total/1e6, pipRep.FillTimePerIter*float64(pip.Iterations)/1e6)
+	fmt.Printf("  projected saving:  %8.2f s/step (%.1f%%) at P=%d\n",
+		(seqTotal-pipRep.Total)/1e6, (seqTotal-pipRep.Total)/seqTotal*100, p)
+	fmt.Println("  (assumes convergence needs no extra iterations — Section 5.5)")
+}

@@ -1,0 +1,50 @@
+// Multicore: explore the platform design question of paper Section 5.3
+// with the Table 6 model extensions — how many cores per node are worth
+// building for wavefront workloads, and what a partitioned-bus node design
+// recovers.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/machine"
+)
+
+func main() {
+	bm := apps.Sweep3D(grid.NewGrid(1000, 1000, 1000), 2)
+	const nodes = 32768
+	const scale = 30 * 1e4 // energy groups × time steps
+
+	fmt.Printf("Sweep3D 10⁹ on %d nodes, varying cores per node:\n", nodes)
+	for _, cores := range []int{1, 2, 4, 8, 16} {
+		mach, err := machine.XT4MultiCore(cores)
+		if err != nil {
+			panic(err)
+		}
+		rep, err := core.New(bm.App, mach).EvaluateP(nodes * cores)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %2d cores/node (%dx%d rectangle): %7.1f days  [comm %4.1f%%]\n",
+			cores, mach.Cx, mach.Cy, rep.Total*scale/1e6/86400,
+			rep.CommPerIter/rep.TimePerIteration*100)
+	}
+
+	fmt.Println("\n16-core node alternatives:")
+	for _, groups := range []int{1, 2, 4} {
+		mach, err := machine.XT4MultiCoreGrouped(16, groups)
+		if err != nil {
+			panic(err)
+		}
+		rep, err := core.New(bm.App, mach).EvaluateP(nodes * 16)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %d bus group(s) of %2d cores: %7.1f days\n",
+			groups, 16/groups, rep.Total*scale/1e6/86400)
+	}
+	fmt.Println("\na separate bus+NIC per 4-core group makes a 16-core node match quad-core scaling (Section 5.3)")
+}

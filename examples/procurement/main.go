@@ -1,0 +1,70 @@
+// Procurement: use the model to answer platform sizing and partitioning
+// questions for a production particle transport workload (paper Section
+// 5.2, Figures 6–9): how execution time scales with system size, where
+// diminishing returns set in, and how many simulations to run in parallel.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+)
+
+func main() {
+	bm := apps.Sweep3D(grid.NewGrid(1000, 1000, 1000), 2)
+	mach := machine.XT4()
+	const (
+		steps  = 1e4
+		groups = 30
+	)
+
+	// Runtime of one full simulation (10⁴ steps × 30 energy groups) on p
+	// cores, in µs.
+	runtime := func(p int) (float64, error) {
+		rep, err := core.New(bm.App, mach).EvaluateP(p)
+		if err != nil {
+			return 0, err
+		}
+		return rep.Total * groups * steps, nil
+	}
+
+	fmt.Println("scaling of one Sweep3D 10⁹ production simulation:")
+	ps := []int{4096, 8192, 16384, 32768, 65536, 131072}
+	times := make([]float64, len(ps))
+	for i, p := range ps {
+		us, err := runtime(p)
+		if err != nil {
+			panic(err)
+		}
+		times[i] = us
+		fmt.Printf("  P=%-7d %8.1f days\n", p, us/1e6/86400)
+	}
+	knee, err := metrics.DiminishingReturns(ps, times, 0.25)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("doubling beyond P=%d improves runtime by <25%%\n\n", knee)
+
+	fmt.Println("partitioning 128K cores among parallel simulations:")
+	points, err := metrics.Partitions(131072, []int{1, 2, 4, 8, 16}, runtime)
+	if err != nil {
+		panic(err)
+	}
+	for _, pt := range points {
+		fmt.Printf("  %2d jobs × %-7d cores: R=%7.1f days, %6.1f steps/month/problem\n",
+			pt.Jobs, pt.Partition, pt.R/1e6/86400, metrics.TimeStepsPerMonth(pt.R/steps))
+	}
+	a, err := metrics.Optimal(points, metrics.MinRoverX)
+	if err != nil {
+		panic(err)
+	}
+	b, err := metrics.Optimal(points, metrics.MinR2overX)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("optimal: min R/X → %d jobs; min R²/X → %d jobs\n", a.Jobs, b.Jobs)
+}

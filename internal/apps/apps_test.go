@@ -1,0 +1,181 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+	"repro/internal/wavefront"
+)
+
+func TestTable3Parameters(t *testing.T) {
+	g := grid.Cube(48)
+	for _, tc := range []struct {
+		bm                    Benchmark
+		nsweeps, nfull, ndiag int
+		wgPrePositive         bool
+		htile                 int
+	}{
+		{LU(g), 2, 2, 0, true, 1},
+		{Sweep3D(g, 2), 8, 2, 2, false, 2},
+		{Chimaera(g, 1), 8, 4, 2, false, 1},
+	} {
+		a := tc.bm.App
+		if a.NSweeps != tc.nsweeps || a.NFull != tc.nfull || a.NDiag != tc.ndiag {
+			t.Errorf("%s: structure (%d,%d,%d), want (%d,%d,%d)", a.Name,
+				a.NSweeps, a.NFull, a.NDiag, tc.nsweeps, tc.nfull, tc.ndiag)
+		}
+		if (a.WgPre > 0) != tc.wgPrePositive {
+			t.Errorf("%s: WgPre = %v", a.Name, a.WgPre)
+		}
+		if a.Htile != tc.htile {
+			t.Errorf("%s: Htile = %d", a.Name, a.Htile)
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+func TestMessageSizesMatchTable3(t *testing.T) {
+	g := grid.Cube(48)
+	dec := grid.MustDecompose(g, 4, 4) // 12 cells per rank per dimension
+
+	lu := LU(g).App
+	if got, want := lu.EWBytes(dec, 1), 40*12; got != want {
+		t.Errorf("LU EW = %d, want 40×Ny/m = %d", got, want)
+	}
+	if got, want := lu.NSBytes(dec, 1), 40*12; got != want {
+		t.Errorf("LU NS = %d, want 40×Nx/n = %d", got, want)
+	}
+
+	s3d := Sweep3D(g, 2).App
+	if got, want := s3d.EWBytes(dec, 2), 8*2*6*12; got != want {
+		t.Errorf("Sweep3D EW = %d, want 8×Htile×angles×Ny/m = %d", got, want)
+	}
+	chi := Chimaera(g, 1).App
+	if got, want := chi.NSBytes(dec, 1), 8*1*10*12; got != want {
+		t.Errorf("Chimaera NS = %d, want %d", got, want)
+	}
+}
+
+func TestRelativeComputeCosts(t *testing.T) {
+	// Chimaera computes ten angles to Sweep3D's six at the same grind
+	// time (Section 5.1).
+	g := grid.Cube(48)
+	s3d, chi := Sweep3D(g, 1).App, Chimaera(g, 1).App
+	if chi.Wg/s3d.Wg < 1.6 || chi.Wg/s3d.Wg > 1.7 {
+		t.Errorf("Wg ratio = %v, want 10/6", chi.Wg/s3d.Wg)
+	}
+}
+
+func TestWithHelpers(t *testing.T) {
+	g := grid.Cube(48)
+	bm := Sweep3D(g, 2)
+	if got := bm.WithHtile(4).App.Htile; got != 4 {
+		t.Errorf("WithHtile = %d", got)
+	}
+	if got := bm.WithIterations(7).App.Iterations; got != 7 {
+		t.Errorf("WithIterations = %d", got)
+	}
+	w := bm.WithWg(1.5, 0.5)
+	if w.App.Wg != 1.5 || w.App.WgPre != 0.5 {
+		t.Errorf("WithWg = %v/%v", w.App.Wg, w.App.WgPre)
+	}
+	if bm.App.Htile != 2 || bm.App.Wg == 1.5 {
+		t.Error("helpers mutated the receiver")
+	}
+}
+
+func TestScheduleConsistentWithModel(t *testing.T) {
+	// The schedule's per-tile work and message sizes must equal the model's
+	// (r1a/r1b and Table 3 sizes), so simulator and model describe the same
+	// computation.
+	g := grid.Cube(48)
+	dec := grid.MustDecompose(g, 4, 4)
+	for _, bm := range []Benchmark{LU(g), Sweep3D(g, 2), Chimaera(g, 1)} {
+		s, err := bm.Schedule(dec, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", bm.App.Name, err)
+		}
+		if want := bm.App.Wg * dec.CellsPerTile(bm.App.Htile); s.W != want {
+			t.Errorf("%s: W = %v, want %v", bm.App.Name, s.W, want)
+		}
+		if want := bm.App.WgPre * dec.CellsPerTile(bm.App.Htile); s.WPre != want {
+			t.Errorf("%s: WPre = %v, want %v", bm.App.Name, s.WPre, want)
+		}
+		if s.BytesEW != bm.App.EWBytes(dec, bm.App.Htile) {
+			t.Errorf("%s: EW bytes mismatch", bm.App.Name)
+		}
+		if len(s.Corners) != bm.App.NSweeps {
+			t.Errorf("%s: %d corners vs %d sweeps", bm.App.Name, len(s.Corners), bm.App.NSweeps)
+		}
+	}
+}
+
+func TestScheduleGridMismatch(t *testing.T) {
+	bm := LU(grid.Cube(48))
+	if _, err := bm.Schedule(grid.MustDecompose(grid.Cube(32), 4, 4), 1); err == nil {
+		t.Error("mismatched grid accepted")
+	}
+}
+
+func TestCustomBenchmark(t *testing.T) {
+	g := grid.Cube(32)
+	corners := []grid.Corner{grid.NW, grid.SE, grid.NE, grid.SW}
+	bm := Custom("X", g, 0.5, 0.1, 2, corners,
+		func(dec grid.Decomposition, h int) int { return 8 * h * dec.CellsPerRankY() },
+		func(dec grid.Decomposition, h int) int { return 8 * h * dec.CellsPerRankX() },
+		core.AllReduceNonWavefront(1), 3,
+		func(dec grid.Decomposition) func(int) []simmpi.Op { return wavefront.AllReduceInter(1) })
+	ns, nf, nd := wavefront.Classify(corners)
+	if bm.App.NSweeps != ns || bm.App.NFull != nf || bm.App.NDiag != nd {
+		t.Errorf("custom structure = (%d,%d,%d), want (%d,%d,%d)",
+			bm.App.NSweeps, bm.App.NFull, bm.App.NDiag, ns, nf, nd)
+	}
+	if err := bm.App.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.New(bm.App, machine.XT4()).EvaluateP(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total <= 0 {
+		t.Error("zero total")
+	}
+}
+
+func TestLUInterOpsBuildStencil(t *testing.T) {
+	g := grid.Cube(48)
+	dec := grid.MustDecompose(g, 4, 4)
+	ops := LU(g).InterOps(dec)(dec.Rank(grid.Coord{I: 2, J: 2}))
+	var sends, recvs, computes int
+	for _, op := range ops {
+		switch op.Kind {
+		case simmpi.OpSend:
+			sends++
+		case simmpi.OpRecv:
+			recvs++
+		case simmpi.OpCompute:
+			computes++
+		}
+	}
+	if sends == 0 || sends != recvs || computes != 1 {
+		t.Errorf("stencil ops: %d sends, %d recvs, %d computes", sends, recvs, computes)
+	}
+}
+
+func TestGrindTimeConstant(t *testing.T) {
+	if GrindTime <= 0 || GrindTime > 10 {
+		t.Errorf("implausible grind time %v µs", GrindTime)
+	}
+	g := grid.Cube(48)
+	if got := Sweep3D(g, 1).App.Wg; got != Sweep3DAngles*GrindTime {
+		t.Errorf("Sweep3D Wg = %v", got)
+	}
+	if got := Chimaera(g, 1).App.Wg; got != ChimaeraAngles*GrindTime {
+		t.Errorf("Chimaera Wg = %v", got)
+	}
+}

@@ -1,0 +1,192 @@
+// Package baseline implements the two previous-generation wavefront models
+// the paper compares against:
+//
+//   - The Sundaram-Stukel & Vernon LogGP model of Sweep3D (PPoPP'99),
+//     reproduced in paper Table 4 (equations s1–s5). It is specific to
+//     Sweep3D's sweep structure and was developed for the IBM SP/2,
+//     including handshake back-propagation synchronization terms.
+//   - The Hoisie et al. single-sweep pipeline model (Int. J. HPC
+//     Applications, 2000), which counts pipeline stages on the processor
+//     array and multiplies by per-stage cost.
+//
+// Both serve as comparison baselines for the plug-and-play model in the
+// experiments: the plug-and-play model reproduces their predictions where
+// their assumptions hold, while also covering codes they cannot express.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/logp"
+)
+
+// Sweep3DConfig holds the inputs of the Table 4 model in its original
+// parameterisation.
+type Sweep3DConfig struct {
+	// Grid is the problem size.
+	Grid grid.Grid
+	// N, M are the processor array dimensions (n columns × m rows).
+	N, M int
+	// WgAngle is the measured computation time per angle per cell, µs
+	// (the Table 4 model's Wg; the plug-and-play model's Wg equals
+	// WgAngle × MMO).
+	WgAngle float64
+	// MK is the tile height in cells, MMI the number of angles computed
+	// before boundary values are sent, MMO the total angles per cell.
+	MK, MMI, MMO int
+	// Params are the platform LogGP parameters.
+	Params logp.Params
+	// SyncTerms includes the (m−1)L and (n−2)L handshake back-propagation
+	// terms that were significant on the SP/2 (Table 4 equations s3, s4).
+	SyncTerms bool
+}
+
+// Validate reports configuration errors.
+func (c Sweep3DConfig) Validate() error {
+	switch {
+	case c.Grid.Nx <= 0 || c.Grid.Ny <= 0 || c.Grid.Nz <= 0:
+		return fmt.Errorf("baseline: invalid grid %v", c.Grid)
+	case c.N <= 1 || c.M <= 1:
+		return fmt.Errorf("baseline: Table 4 model requires n, m > 1 (got %dx%d)", c.N, c.M)
+	case c.WgAngle < 0:
+		return fmt.Errorf("baseline: negative WgAngle")
+	case c.MK <= 0 || c.MMI <= 0 || c.MMO <= 0 || c.MMO%c.MMI != 0:
+		return fmt.Errorf("baseline: invalid angle blocking mk=%d mmi=%d mmo=%d", c.MK, c.MMI, c.MMO)
+	}
+	return nil
+}
+
+// Result is the Table 4 model output, in µs.
+type Result struct {
+	W        float64 // per-block work (s1)
+	StartP1M float64 // pipeline fill to (1,m)
+	StartPNM float64 // pipeline fill to (n,m)
+	Time56   float64 // equation (s3)
+	Time78   float64 // equation (s4)
+	Total    float64 // equation (s5): one iteration, all 8 sweeps
+}
+
+// Evaluate computes the Table 4 model for one iteration of Sweep3D.
+func Evaluate(c Sweep3DConfig) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	p := c.Params
+	it := ceilDiv(c.Grid.Nx, c.N)
+	jt := ceilDiv(c.Grid.Ny, c.M)
+	kblocks := ceilDiv(c.Grid.Nz, c.MK)
+	anglesFactor := float64(c.MMO) / float64(c.MMI)
+
+	// (s1): W = Wg × mmi × mk × jt × it.
+	w := c.WgAngle * float64(c.MMI) * float64(c.MK) * float64(jt) * float64(it)
+
+	// Boundary message sizes for an mmi-angle, mk-cell block.
+	sEW := 8 * c.MMI * c.MK * jt
+	sNS := 8 * c.MMI * c.MK * it
+
+	// (s2): StartP recurrence. All communication off-node (the SP/2 had
+	// single-core nodes).
+	start := startPRecurrence(c.N, c.M, w, p, sEW, sNS)
+	s1m := start[idx(1, c.M, c.N)]
+	snm := start[idx(c.N, c.M, c.N)]
+	sn1m := start[idx(c.N-1, c.M, c.N)]
+
+	sync3, sync4 := 0.0, 0.0
+	if c.SyncTerms {
+		sync3 = float64(c.M-1) * p.L
+		sync4 = float64(c.M-1)*p.L + float64(c.N-2)*p.L
+	}
+
+	sendE := p.SendOffNode(sEW)
+	recvW := p.ReceiveOffNode(sEW)
+	recvN := p.ReceiveOffNode(sNS)
+
+	// (s3): time until the corner processor on the main diagonal finishes
+	// its stack of tiles in the sweep.
+	time56 := s1m + 2*(w+sendE+recvN+sync3)*float64(kblocks)*anglesFactor
+
+	// (s4): time until the sweep completely finishes on processor (n,m).
+	time78 := sn1m + 2*(w+sendE+recvW+recvN+sync4)*float64(kblocks)*anglesFactor +
+		recvW + w
+
+	// (s5): total per-iteration time across the 8 sweeps.
+	total := 2 * (time56 + time78)
+
+	return Result{
+		W:        w,
+		StartP1M: s1m,
+		StartPNM: snm,
+		Time56:   time56,
+		Time78:   time78,
+		Total:    total,
+	}, nil
+}
+
+// startPRecurrence evaluates equation (s2) over the full processor array
+// and returns StartP values in row-major order (1-based coordinates).
+func startPRecurrence(n, m int, w float64, p logp.Params, sEW, sNS int) []float64 {
+	start := make([]float64, (n+1)*(m+1))
+	totalE := p.TotalCommOffNode(sEW)
+	totalS := p.TotalCommOffNode(sNS)
+	recvN := p.ReceiveOffNode(sNS)
+	sendE := p.SendOffNode(sEW)
+	for j := 1; j <= m; j++ {
+		for i := 1; i <= n; i++ {
+			if i == 1 && j == 1 {
+				start[idx(i, j, n)] = 0
+				continue
+			}
+			west, north := math.Inf(-1), math.Inf(-1)
+			if i > 1 {
+				t := start[idx(i-1, j, n)] + w + totalE
+				if j > 1 {
+					t += recvN
+				}
+				west = t
+			}
+			if j > 1 {
+				t := start[idx(i, j-1, n)] + w + totalS
+				if i < n {
+					t += sendE
+				}
+				north = t
+			}
+			start[idx(i, j, n)] = math.Max(west, north)
+		}
+	}
+	return start
+}
+
+func idx(i, j, n int) int { return j*(n+1) + i }
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// HoisieConfig parameterises the Hoisie et al. single-sweep pipeline model:
+// on an n × m array, a sweep's completion time is
+// (#pipeline stages) × (per-stage cost), where the stage count is
+// (n + m − 2) + #tiles and the per-stage cost is the tile compute time plus
+// the communication time of one boundary exchange.
+type HoisieConfig struct {
+	N, M     int
+	Tiles    int     // tiles per stack (Nz/Htile)
+	TileWork float64 // per-tile compute time, µs
+	CommCost float64 // per-stage communication cost, µs
+}
+
+// HoisieSweep returns the single-sweep completion time of the Hoisie model.
+func HoisieSweep(c HoisieConfig) float64 {
+	stages := float64(c.N+c.M-2) + float64(c.Tiles)
+	return stages * (c.TileWork + c.CommCost)
+}
+
+// HoisieIteration extends the single-sweep model to a full iteration with
+// the given number of sweeps, assuming sweeps follow each other back to
+// back (the customisation the paper notes the Hoisie model requires for
+// each specific code).
+func HoisieIteration(c HoisieConfig, sweeps int) float64 {
+	fill := float64(c.N+c.M-2) * (c.TileWork + c.CommCost)
+	stack := float64(c.Tiles) * (c.TileWork + c.CommCost)
+	return fill + float64(sweeps)*stack + fill // fill in, pipelined sweeps, drain
+}

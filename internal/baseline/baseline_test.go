@@ -1,0 +1,153 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/logp"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+func config(g grid.Grid, n, m int, p logp.Params) Sweep3DConfig {
+	return Sweep3DConfig{
+		Grid: g, N: n, M: m,
+		WgAngle: 0.123,
+		MK:      4, MMI: 3, MMO: 6,
+		Params: p,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := config(grid.Cube(48), 4, 4, logp.XT4())
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.N = 1
+	if bad.Validate() == nil {
+		t.Error("n=1 accepted (Table 4 model needs n,m > 1)")
+	}
+	bad = good
+	bad.MMO = 5 // not divisible by mmi=3
+	if bad.Validate() == nil {
+		t.Error("invalid angle blocking accepted")
+	}
+	bad = good
+	bad.WgAngle = -1
+	if bad.Validate() == nil {
+		t.Error("negative WgAngle accepted")
+	}
+	bad = good
+	bad.Grid = grid.Grid{}
+	if bad.Validate() == nil {
+		t.Error("invalid grid accepted")
+	}
+}
+
+func TestEvaluateComponents(t *testing.T) {
+	c := config(grid.Cube(48), 4, 4, logp.XT4())
+	r, err := Evaluate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// W = Wg × mmi × mk × jt × it = 0.123 × 3 × 4 × 12 × 12.
+	want := 0.123 * 3 * 4 * 12 * 12
+	if math.Abs(r.W-want) > 1e-9 {
+		t.Errorf("W = %v, want %v", r.W, want)
+	}
+	if r.StartP1M <= 0 || r.StartPNM <= r.StartP1M {
+		t.Errorf("fills: StartP(1,m)=%v StartP(n,m)=%v", r.StartP1M, r.StartPNM)
+	}
+	if r.Total != 2*(r.Time56+r.Time78) {
+		t.Errorf("(s5) broken: %v vs %v", r.Total, 2*(r.Time56+r.Time78))
+	}
+}
+
+func TestSyncTermsIncreaseTime(t *testing.T) {
+	c := config(grid.Cube(48), 8, 8, logp.SP2())
+	plain, err := Evaluate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SyncTerms = true
+	sync, err := Evaluate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sync.Total <= plain.Total {
+		t.Errorf("sync terms did not increase time: %v vs %v", sync.Total, plain.Total)
+	}
+	// On the SP/2 the sync terms are a noticeable fraction; on the XT4
+	// they are negligible (paper Section 4.2).
+	spFrac := (sync.Total - plain.Total) / plain.Total
+	cx := config(grid.Cube(48), 8, 8, logp.XT4())
+	cx.SyncTerms = true
+	xs, err := Evaluate(cx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cx.SyncTerms = false
+	xp, err := Evaluate(cx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xtFrac := (xs.Total - xp.Total) / xp.Total
+	if xtFrac >= spFrac/5 {
+		t.Errorf("XT4 sync fraction %v should be far below SP/2's %v", xtFrac, spFrac)
+	}
+	if xtFrac > 0.05 {
+		t.Errorf("XT4 sync fraction %v should be small", xtFrac)
+	}
+}
+
+func TestBaselineAgreesWithPlugAndPlay(t *testing.T) {
+	// On Sweep3D — the one code the Table 4 model covers — the two models
+	// must agree closely (the plug-and-play model generalises it).
+	g := grid.Cube(96)
+	for _, p := range []int{16, 64, 256} {
+		dec, err := grid.SquareDecomposition(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := config(g, dec.N, dec.M, logp.XT4())
+		base, err := Evaluate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm := apps.Sweep3D(g, c.MK*c.MMI/c.MMO).WithIterations(1)
+		// Match the baseline's per-angle work and drop the all-reduce,
+		// which the Table 4 model does not include.
+		app := bm.App
+		app.Wg = c.WgAngle * float64(c.MMO)
+		app.NonWavefront = nil
+		rep, err := core.New(app, machine.XT4SingleCore()).Evaluate(dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re := stats.RelErr(rep.TimePerIteration, base.Total); re > 0.1 {
+			t.Errorf("P=%d: plug-and-play %v vs baseline %v (%.1f%%)",
+				p, rep.TimePerIteration, base.Total, re*100)
+		}
+	}
+}
+
+func TestHoisieModels(t *testing.T) {
+	c := HoisieConfig{N: 8, M: 8, Tiles: 32, TileWork: 10, CommCost: 2}
+	sweep := HoisieSweep(c)
+	want := float64(8+8-2+32) * 12
+	if sweep != want {
+		t.Errorf("HoisieSweep = %v, want %v", sweep, want)
+	}
+	iter := HoisieIteration(c, 8)
+	if iter <= 8*float64(c.Tiles)*12 {
+		t.Errorf("HoisieIteration = %v missing fill", iter)
+	}
+	// More sweeps cost more.
+	if HoisieIteration(c, 2) >= HoisieIteration(c, 8) {
+		t.Error("iteration time not increasing in sweeps")
+	}
+}

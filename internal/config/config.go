@@ -1,0 +1,254 @@
+// Package config loads plug-and-play model inputs from JSON: an
+// application spec carrying exactly the paper's Table 3 parameters and a
+// machine spec carrying the LogGP platform parameters and node
+// organisation. This is the "plug-and-play" workflow end to end — a user
+// describes a new wavefront production code in a few lines of JSON and
+// obtains both a performance model and an executable simulation, with no
+// model equations to re-derive.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/logp"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+	"repro/internal/wavefront"
+)
+
+// GridSpec is a problem size.
+type GridSpec struct {
+	Nx int `json:"nx"`
+	Ny int `json:"ny"`
+	Nz int `json:"nz"`
+}
+
+// NonWavefrontSpec selects the inter-iteration operation (Tnonwavefront).
+// Exactly one field should be set; an empty spec means none.
+type NonWavefrontSpec struct {
+	// AllReduces performs the given number of 8-byte all-reduces
+	// (Sweep3D: 2, Chimaera: 1).
+	AllReduces int `json:"allreduces,omitempty"`
+	// Stencil performs a four-point stencil with the given per-cell time
+	// (µs) and per-cell boundary bytes (LU).
+	Stencil *StencilSpec `json:"stencil,omitempty"`
+}
+
+// StencilSpec parameterises the LU-style inter-iteration stencil.
+type StencilSpec struct {
+	WgStencil    float64 `json:"wg_stencil"`
+	BytesPerCell int     `json:"bytes_per_cell"`
+}
+
+// AppSpec is the JSON form of the paper's Table 3 application parameters.
+type AppSpec struct {
+	Name  string   `json:"name"`
+	Grid  GridSpec `json:"grid"`
+	Wg    float64  `json:"wg"`               // µs per cell (all angles)
+	WgPre float64  `json:"wg_pre,omitempty"` // µs per cell before receives
+	Htile int      `json:"htile"`
+
+	// Corners is the per-iteration sweep origin sequence (Figure 2), e.g.
+	// ["SE","SE","NE","NE","SW","SW","NW","NW"]. nsweeps/nfull/ndiag are
+	// derived from it.
+	Corners []string `json:"corners"`
+
+	// Message sizing: either Angles (transport codes: 8×Htile×angles×edge
+	// cells) or BytesPerCell (LU-style fixed bytes per boundary cell).
+	Angles       int `json:"angles,omitempty"`
+	BytesPerCell int `json:"bytes_per_cell,omitempty"`
+
+	NonWavefront NonWavefrontSpec `json:"nonwavefront,omitempty"`
+	Iterations   int              `json:"iterations"`
+}
+
+// MachineSpec is the JSON form of a platform description.
+type MachineSpec struct {
+	// Preset names a built-in parameter set: "xt4" or "sp2". When empty,
+	// Params must be given.
+	Preset       string       `json:"preset,omitempty"`
+	Params       *logp.Params `json:"params,omitempty"`
+	CoresPerNode int          `json:"cores_per_node"`
+	BusGroups    int          `json:"bus_groups,omitempty"`
+}
+
+// ParseCorner converts a corner name to grid.Corner.
+func ParseCorner(s string) (grid.Corner, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "NW":
+		return grid.NW, nil
+	case "NE":
+		return grid.NE, nil
+	case "SW":
+		return grid.SW, nil
+	case "SE":
+		return grid.SE, nil
+	}
+	return 0, fmt.Errorf("config: unknown corner %q (want NW, NE, SW or SE)", s)
+}
+
+// Benchmark materialises the spec into a model/simulator benchmark.
+func (s AppSpec) Benchmark() (apps.Benchmark, error) {
+	var zero apps.Benchmark
+	if s.Name == "" {
+		return zero, fmt.Errorf("config: app needs a name")
+	}
+	if s.Grid.Nx <= 0 || s.Grid.Ny <= 0 || s.Grid.Nz <= 0 {
+		return zero, fmt.Errorf("config: app %q has invalid grid %+v", s.Name, s.Grid)
+	}
+	if len(s.Corners) == 0 {
+		return zero, fmt.Errorf("config: app %q has no sweep corners", s.Name)
+	}
+	if (s.Angles > 0) == (s.BytesPerCell > 0) {
+		return zero, fmt.Errorf("config: app %q must set exactly one of angles or bytes_per_cell", s.Name)
+	}
+	corners := make([]grid.Corner, len(s.Corners))
+	for i, cs := range s.Corners {
+		c, err := ParseCorner(cs)
+		if err != nil {
+			return zero, fmt.Errorf("config: app %q: %w", s.Name, err)
+		}
+		corners[i] = c
+	}
+
+	var ew, ns func(grid.Decomposition, int) int
+	if s.Angles > 0 {
+		angles := s.Angles
+		ew = func(dec grid.Decomposition, h int) int { return 8 * h * angles * dec.CellsPerRankY() }
+		ns = func(dec grid.Decomposition, h int) int { return 8 * h * angles * dec.CellsPerRankX() }
+	} else {
+		bpc := s.BytesPerCell
+		ew = func(dec grid.Decomposition, h int) int { return bpc * h * dec.CellsPerRankY() }
+		ns = func(dec grid.Decomposition, h int) int { return bpc * h * dec.CellsPerRankX() }
+	}
+
+	var nonWF func(core.Env) float64
+	var interOps func(grid.Decomposition) func(int) []simmpi.Op
+	switch {
+	case s.NonWavefront.AllReduces > 0 && s.NonWavefront.Stencil != nil:
+		return zero, fmt.Errorf("config: app %q sets both allreduces and stencil", s.Name)
+	case s.NonWavefront.AllReduces > 0:
+		n := s.NonWavefront.AllReduces
+		nonWF = core.AllReduceNonWavefront(n)
+		interOps = func(grid.Decomposition) func(int) []simmpi.Op { return wavefront.AllReduceInter(n) }
+	case s.NonWavefront.Stencil != nil:
+		st := *s.NonWavefront.Stencil
+		g := grid.NewGrid(s.Grid.Nx, s.Grid.Ny, s.Grid.Nz)
+		nonWF = core.StencilNonWavefront(st.WgStencil, st.BytesPerCell)
+		interOps = func(dec grid.Decomposition) func(int) []simmpi.Op {
+			comp := st.WgStencil * float64(dec.CellsPerRankX()) * float64(dec.CellsPerRankY()) * float64(g.Nz)
+			return wavefront.StencilInter(dec, comp,
+				st.BytesPerCell*dec.CellsPerRankY()*g.Nz,
+				st.BytesPerCell*dec.CellsPerRankX()*g.Nz)
+		}
+	}
+
+	bm := apps.Custom(s.Name, grid.NewGrid(s.Grid.Nx, s.Grid.Ny, s.Grid.Nz),
+		s.Wg, s.WgPre, s.Htile, corners, ew, ns, nonWF, s.Iterations, interOps)
+	if err := bm.App.Validate(); err != nil {
+		return zero, err
+	}
+	return bm, nil
+}
+
+// Machine materialises the machine spec.
+func (s MachineSpec) Machine() (machine.Machine, error) {
+	var prm logp.Params
+	switch strings.ToLower(s.Preset) {
+	case "xt4":
+		prm = logp.XT4()
+	case "sp2":
+		prm = logp.SP2()
+	case "":
+		if s.Params == nil {
+			return machine.Machine{}, fmt.Errorf("config: machine needs a preset or explicit params")
+		}
+		prm = *s.Params
+		if prm.Name == "" {
+			prm.Name = "custom"
+		}
+	default:
+		return machine.Machine{}, fmt.Errorf("config: unknown machine preset %q", s.Preset)
+	}
+	cores := s.CoresPerNode
+	if cores <= 0 {
+		cores = 1
+	}
+	cx, cy, err := machine.CoreRectangle(cores)
+	if err != nil {
+		return machine.Machine{}, err
+	}
+	groups := s.BusGroups
+	if groups <= 0 {
+		groups = 1
+	}
+	m := machine.Machine{
+		Name:         fmt.Sprintf("%s (%d cores/node)", prm.Name, cores),
+		Params:       prm,
+		CoresPerNode: cores,
+		Cx:           cx,
+		Cy:           cy,
+		BusGroups:    groups,
+	}
+	if err := m.Validate(); err != nil {
+		return machine.Machine{}, err
+	}
+	return m, nil
+}
+
+// File is a complete plug-and-play run description.
+type File struct {
+	App     AppSpec     `json:"app"`
+	Machine MachineSpec `json:"machine"`
+}
+
+// Parse decodes a run description from JSON bytes.
+func Parse(data []byte) (File, error) {
+	var f File
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return File{}, fmt.Errorf("config: %w", err)
+	}
+	return f, nil
+}
+
+// Load reads and decodes a run description file.
+func Load(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, fmt.Errorf("config: %w", err)
+	}
+	return Parse(data)
+}
+
+// Example returns a complete example spec (the Chimaera benchmark on the
+// dual-core XT4), for `plugplay -example`.
+func Example() File {
+	return File{
+		App: AppSpec{
+			Name:  "Chimaera",
+			Grid:  GridSpec{Nx: 240, Ny: 240, Nz: 240},
+			Wg:    apps.ChimaeraAngles * apps.GrindTime,
+			Htile: 1,
+			Corners: []string{
+				"SE", "SE", "NE", "SW", "NE", "SW", "NW", "NW",
+			},
+			Angles:       apps.ChimaeraAngles,
+			NonWavefront: NonWavefrontSpec{AllReduces: 1},
+			Iterations:   apps.ChimaeraIters,
+		},
+		Machine: MachineSpec{Preset: "xt4", CoresPerNode: 2},
+	}
+}
+
+// Render encodes a File as indented JSON.
+func Render(f File) ([]byte, error) {
+	return json.MarshalIndent(f, "", "  ")
+}

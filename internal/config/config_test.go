@@ -1,0 +1,186 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/machine"
+)
+
+func TestExampleRoundTrips(t *testing.T) {
+	f := Example()
+	data, err := Render(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := back.App.Benchmark()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.App.Name != "Chimaera" || bm.App.NSweeps != 8 || bm.App.NFull != 4 || bm.App.NDiag != 2 {
+		t.Errorf("example app = %+v", bm.App)
+	}
+	mach, err := back.Machine.Machine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mach.CoresPerNode != 2 {
+		t.Errorf("machine = %+v", mach)
+	}
+	// The materialised spec evaluates like the built-in benchmark.
+	rep, err := core.New(bm.App, mach).EvaluateP(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total <= 0 {
+		t.Error("non-positive total")
+	}
+}
+
+func TestLoadFromDisk(t *testing.T) {
+	data, err := Render(Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "app.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.App.Name != "Chimaera" {
+		t.Errorf("loaded app = %q", f.App.Name)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"app":{"name":"x","bogus":1}}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := Parse([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestParseCorner(t *testing.T) {
+	for s, want := range map[string]grid.Corner{
+		"NW": grid.NW, "ne": grid.NE, " sw ": grid.SW, "Se": grid.SE,
+	} {
+		got, err := ParseCorner(s)
+		if err != nil || got != want {
+			t.Errorf("ParseCorner(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseCorner("north"); err == nil {
+		t.Error("bad corner accepted")
+	}
+}
+
+func TestAppSpecValidation(t *testing.T) {
+	good := Example().App
+	if _, err := good.Benchmark(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*AppSpec)
+	}{
+		{"no name", func(s *AppSpec) { s.Name = "" }},
+		{"bad grid", func(s *AppSpec) { s.Grid.Nz = 0 }},
+		{"no corners", func(s *AppSpec) { s.Corners = nil }},
+		{"bad corner", func(s *AppSpec) { s.Corners = []string{"XX"} }},
+		{"both sizings", func(s *AppSpec) { s.BytesPerCell = 40 }},
+		{"neither sizing", func(s *AppSpec) { s.Angles = 0 }},
+		{"both nonwavefront", func(s *AppSpec) {
+			s.NonWavefront.Stencil = &StencilSpec{WgStencil: 0.1, BytesPerCell: 40}
+		}},
+		{"zero iterations", func(s *AppSpec) { s.Iterations = 0 }},
+	}
+	for _, tc := range cases {
+		s := Example().App
+		tc.mutate(&s)
+		if _, err := s.Benchmark(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestLUStyleSpec(t *testing.T) {
+	s := AppSpec{
+		Name:         "lu-like",
+		Grid:         GridSpec{Nx: 64, Ny: 64, Nz: 64},
+		Wg:           0.6,
+		WgPre:        0.3,
+		Htile:        1,
+		Corners:      []string{"NW", "SE"},
+		BytesPerCell: 40,
+		NonWavefront: NonWavefrontSpec{Stencil: &StencilSpec{WgStencil: 0.15, BytesPerCell: 40}},
+		Iterations:   10,
+	}
+	bm, err := s.Benchmark()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.App.NSweeps != 2 || bm.App.NFull != 2 || bm.App.NDiag != 0 {
+		t.Errorf("structure = %+v", bm.App)
+	}
+	dec := grid.MustDecompose(grid.Cube(64), 4, 4)
+	if got := bm.App.EWBytes(dec, 1); got != 40*16 {
+		t.Errorf("EW bytes = %d", got)
+	}
+	if bm.InterOps == nil {
+		t.Fatal("stencil inter-ops missing")
+	}
+	if ops := bm.InterOps(dec)(5); len(ops) == 0 {
+		t.Error("no stencil ops")
+	}
+}
+
+func TestMachineSpecs(t *testing.T) {
+	m, err := (MachineSpec{Preset: "sp2", CoresPerNode: 1}).Machine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Params.L != 23 {
+		t.Errorf("sp2 params = %+v", m.Params)
+	}
+	custom := machine.XT4().Params
+	custom.Name = ""
+	m, err = (MachineSpec{Params: &custom, CoresPerNode: 4, BusGroups: 2}).Machine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cx != 2 || m.Cy != 2 || m.BusGroups != 2 {
+		t.Errorf("custom machine = %+v", m)
+	}
+	if !strings.Contains(m.Name, "custom") {
+		t.Errorf("name = %q", m.Name)
+	}
+	if _, err := (MachineSpec{Preset: "cray-zz"}).Machine(); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := (MachineSpec{}).Machine(); err == nil {
+		t.Error("empty spec accepted")
+	}
+	// Defaulting: zero cores → 1.
+	m, err = (MachineSpec{Preset: "xt4"}).Machine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CoresPerNode != 1 {
+		t.Errorf("default cores = %d", m.CoresPerNode)
+	}
+}

@@ -1,0 +1,417 @@
+// Package core implements the paper's primary contribution: the
+// plug-and-play re-usable LogGP performance model for MPI-based pipelined
+// wavefront computations (paper Section 4, Tables 5 and 6).
+//
+// A wavefront application is specified by a small set of input parameters
+// (Table 3): the problem grid, the per-cell computation times Wg and
+// Wg,pre, the tile height Htile, the sweep-structure parameters nsweeps,
+// nfull and ndiag, the boundary message sizes, and the inter-iteration
+// operation Tnonwavefront. Given those inputs plus a machine description,
+// Evaluate predicts the execution time of the application on any number of
+// processors — including multi-core nodes with shared-bus contention — via
+// equations (r1a)–(r5) and the Table 6 extensions.
+//
+// All model times are in microseconds.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/logp"
+	"repro/internal/machine"
+)
+
+// Env carries the evaluation context into application callbacks such as
+// NonWavefront.
+type Env struct {
+	Machine machine.Machine
+	Dec     grid.Decomposition
+	Htile   int
+}
+
+// P returns the total processor (core) count of the evaluation.
+func (e Env) P() int { return e.Dec.P() }
+
+// App is the plug-and-play model's application parameter set (paper
+// Table 3). The sweep-structure parameters may be given directly
+// (NSweeps/NFull/NDiag) or derived from a sweep corner sequence with
+// FromCorners.
+type App struct {
+	Name string
+
+	// Grid is the problem size Nx × Ny × Nz.
+	Grid grid.Grid
+
+	// WgPre is the computation time per grid point performed before the
+	// boundary receives (zero for codes without pre-calculation), and Wg
+	// the computation time per grid point for all angles after the
+	// receives, both in µs.
+	WgPre, Wg float64
+
+	// Htile is the tile height in cells. For Sweep3D this is the effective
+	// height mk × mmi/mmo (Section 4.1).
+	Htile int
+
+	// NSweeps, NFull and NDiag are the sweep-structure parameters: the
+	// number of sweeps per iteration, the number that must fully complete
+	// before the next sweep (or iteration end), and the number that must
+	// complete at the second corner processor on the wavefront diagonal.
+	NSweeps, NFull, NDiag int
+
+	// EWBytes and NSBytes return the east-west and north-south boundary
+	// message sizes in bytes for a given decomposition and tile height.
+	EWBytes func(dec grid.Decomposition, htile int) int
+	NSBytes func(dec grid.Decomposition, htile int) int
+
+	// NonWavefront returns Tnonwavefront, the per-iteration time of the
+	// operations between iterations (all-reduce, stencil, ...), in µs.
+	// A nil NonWavefront contributes zero.
+	NonWavefront func(e Env) float64
+
+	// Iterations is the number of wavefront iterations per time step.
+	Iterations int
+}
+
+// Validate reports parameter errors.
+func (a App) Validate() error {
+	switch {
+	case a.Grid.Nx <= 0 || a.Grid.Ny <= 0 || a.Grid.Nz <= 0:
+		return fmt.Errorf("core: app %q has invalid grid %v", a.Name, a.Grid)
+	case a.Wg < 0 || a.WgPre < 0:
+		return fmt.Errorf("core: app %q has negative per-cell work", a.Name)
+	case a.Htile <= 0:
+		return fmt.Errorf("core: app %q has invalid Htile %d", a.Name, a.Htile)
+	case a.NSweeps <= 0:
+		return fmt.Errorf("core: app %q has invalid nsweeps %d", a.Name, a.NSweeps)
+	case a.NFull < 0 || a.NDiag < 0 || a.NFull+a.NDiag > 2*a.NSweeps:
+		return fmt.Errorf("core: app %q has inconsistent nfull=%d ndiag=%d", a.Name, a.NFull, a.NDiag)
+	case a.EWBytes == nil || a.NSBytes == nil:
+		return fmt.Errorf("core: app %q is missing message size functions", a.Name)
+	case a.Iterations <= 0:
+		return fmt.Errorf("core: app %q has invalid iteration count %d", a.Name, a.Iterations)
+	}
+	return nil
+}
+
+// WithHtile returns a copy of the app with a different tile height
+// (Section 5.1's application-design parameter).
+func (a App) WithHtile(h int) App {
+	a.Htile = h
+	return a
+}
+
+// WithSweepStructure returns a copy of the app with a different sweep
+// precedence structure (Section 5.5's sweep re-design evaluation).
+func (a App) WithSweepStructure(nsweeps, nfull, ndiag int) App {
+	a.NSweeps, a.NFull, a.NDiag = nsweeps, nfull, ndiag
+	return a
+}
+
+// FromCorners fills the sweep-structure parameters from a sweep origin
+// corner sequence, using the transition classification that the simulator's
+// emergent behaviour follows (see internal/wavefront).
+func (a App) FromCorners(corners []grid.Corner) App {
+	a.NSweeps = len(corners)
+	a.NFull, a.NDiag = 0, 0
+	for k := 0; k+1 < len(corners); k++ {
+		switch {
+		case corners[k+1] == corners[k]:
+		case corners[k+1] == corners[k].Opposite():
+			a.NFull++
+		default:
+			a.NDiag++
+		}
+	}
+	a.NFull++ // final sweep completes fully before the iteration ends
+	return a
+}
+
+// Options control model variants for ablation studies.
+type Options struct {
+	// SyncTerms adds the handshake back-propagation synchronization terms
+	// of the previous SP/2 model ((m−1)L on the diagonal fill and
+	// (m−1)L + (n−2)L on the full fill; paper Section 4.2 notes these are
+	// negligible on the XT4 and omits them).
+	SyncTerms bool
+	// NoContention disables the Table 6 shared-bus contention terms.
+	NoContention bool
+	// ForceOffNode evaluates all communication with the off-node model
+	// even on multi-core nodes (the Section 4.2 one-core-per-node model).
+	ForceOffNode bool
+}
+
+// Report is the model's output for one configuration.
+type Report struct {
+	App     string
+	Machine string
+	P       int // total cores
+	N, M    int // processor array shape
+
+	// Per-iteration components, µs.
+	W, WPre            float64 // per-tile work (r1b, r1a)
+	TDiagFill          float64 // equation (r3a)
+	TFullFill          float64 // equation (r3b)
+	TStack             float64 // equation (r4)
+	TNonWavefront      float64
+	TimePerIteration   float64 // equation (r5)
+	FillTimePerIter    float64 // ndiag·Tdiagfill + nfull·Tfullfill
+	ComputePerIter     float64 // computation component of the critical path
+	CommPerIter        float64 // communication component (TimePerIteration − ComputePerIter)
+	MsgBytesEW, MsgNSz int
+
+	// Totals over all iterations, µs.
+	Total float64
+}
+
+// TotalSeconds returns the total runtime in seconds.
+func (r Report) TotalSeconds() float64 { return r.Total / 1e6 }
+
+// TotalDays returns the total runtime in days.
+func (r Report) TotalDays() float64 { return r.Total / 1e6 / 86400 }
+
+// Scale multiplies the total runtime (e.g. by time steps × energy groups)
+// and returns the scaled report.
+func (r Report) Scale(factor float64) Report {
+	r.Total *= factor
+	return r
+}
+
+// Model couples an application with a machine for evaluation.
+type Model struct {
+	App     App
+	Machine machine.Machine
+	Opts    Options
+}
+
+// New returns a model of app on mach with default options.
+func New(app App, mach machine.Machine) *Model {
+	return &Model{App: app, Machine: mach}
+}
+
+// Evaluate predicts the application's runtime on an n × m processor array.
+func (mo *Model) Evaluate(dec grid.Decomposition) (Report, error) {
+	if err := mo.App.Validate(); err != nil {
+		return Report{}, err
+	}
+	if err := mo.Machine.Validate(); err != nil {
+		return Report{}, err
+	}
+	if dec.Grid != mo.App.Grid {
+		return Report{}, fmt.Errorf("core: decomposition grid %v does not match app grid %v",
+			dec.Grid, mo.App.Grid)
+	}
+	full := mo.evaluate(dec, mo.Machine.Params, mo.Opts)
+
+	// The computation component of the critical path is the model with all
+	// communication costs zeroed; the communication component is the rest
+	// (paper Figure 11's breakdown).
+	comp := mo.evaluate(dec, logp.Params{Name: "zero-comm"}, Options{NoContention: true})
+	full.ComputePerIter = comp.TimePerIteration
+	full.CommPerIter = full.TimePerIteration - comp.TimePerIteration
+	return full, nil
+}
+
+// EvaluateP predicts runtime on p cores using the most-square decomposition.
+func (mo *Model) EvaluateP(p int) (Report, error) {
+	dec, err := grid.SquareDecomposition(mo.App.Grid, p)
+	if err != nil {
+		return Report{}, err
+	}
+	return mo.Evaluate(dec)
+}
+
+// edge identifies one of the four per-tile communication operations of the
+// steady-state pipeline (equation r4).
+type edge int
+
+const (
+	edgeRecvW edge = iota
+	edgeRecvN
+	edgeSendE
+	edgeSendS
+)
+
+func (mo *Model) evaluate(dec grid.Decomposition, prm logp.Params, opts Options) Report {
+	app := mo.App
+	mach := mo.Machine
+	n, m := dec.N, dec.M
+
+	w := app.Wg * dec.CellsPerTile(app.Htile)       // (r1b)
+	wpre := app.WgPre * dec.CellsPerTile(app.Htile) // (r1a)
+	sEW := app.EWBytes(dec, app.Htile)
+	sNS := app.NSBytes(dec, app.Htile)
+
+	// pathE reports whether the east-going message into column i (from
+	// i−1) is on-chip; pathS likewise for the south-going message into
+	// row j. Placement follows Table 6: each node's cores form a Cx × Cy
+	// rectangle of the logical grid.
+	onChipE := func(i int) bool {
+		if opts.ForceOffNode || mach.Cx == 1 {
+			return false
+		}
+		return (i-1)%mach.Cx != 0 // i and i−1 in the same Cx block
+	}
+	onChipS := func(j int) bool {
+		if opts.ForceOffNode || mach.Cy == 1 {
+			return false
+		}
+		return (j-1)%mach.Cy != 0
+	}
+	path := func(onChip bool) logp.Path {
+		if onChip {
+			return logp.OnChip
+		}
+		return logp.OffNode
+	}
+
+	// StartP recurrence (r2a, r2b) over the canonical sweep from (1,1).
+	// Row-major dynamic program; only the previous row is retained.
+	prev := make([]float64, n+1) // StartP(·, j−1)
+	cur := make([]float64, n+1)
+	var tDiag, tFull float64
+	for j := 1; j <= m; j++ {
+		for i := 1; i <= n; i++ {
+			if i == 1 && j == 1 {
+				cur[i] = wpre // (r2a)
+				continue
+			}
+			// First term of (r2b): the west message arrives last. The
+			// north message preceded it but is received after it (blocking
+			// receives in west-then-north order), so its Receive cost is
+			// exposed — only where a north neighbour exists.
+			west := math.Inf(-1)
+			if i > 1 {
+				t := cur[i-1] + w + prm.TotalComm(path(onChipE(i)), sEW)
+				if j > 1 {
+					t += prm.Receive(path(onChipS(j)), sNS)
+				}
+				west = t
+			}
+			// Second term of (r2b): the north message arrives last;
+			// processor (i,j−1) sent east before sending south, exposing
+			// its SendE cost — only where an east neighbour exists.
+			north := math.Inf(-1)
+			if j > 1 {
+				t := prev[i] + w + prm.TotalComm(path(onChipS(j)), sNS)
+				if i < n {
+					t += prm.Send(path(onChipE(i+1)), sEW)
+				}
+				north = t
+			}
+			cur[i] = math.Max(west, north)
+		}
+		if j == m {
+			tDiag = cur[1] // StartP(1,m), equation (r3a)
+			tFull = cur[n] // StartP(n,m), equation (r3b)
+		}
+		prev, cur = cur, prev
+	}
+	if m == 1 {
+		// Degenerate single-row array: the "diagonal corner" is the origin.
+		tDiag = wpre
+	}
+
+	if opts.SyncTerms {
+		// Handshake back-propagation terms of the previous SP/2 model
+		// (Table 4 equations s3, s4).
+		tDiag += float64(m-1) * prm.L
+		tFull += float64(m-1)*prm.L + float64(n-2)*prm.L
+	}
+
+	// Steady-state stack processing (r4): all communication off-node, plus
+	// Table 6 contention. The east-west (north-south) operations exist
+	// only when the processor array has more than one column (row); with
+	// both dimensions > 1 every processor is charged all four operations
+	// because the blocking sends and receives rate-match the pipeline
+	// (paper Section 4.2).
+	tiles := float64(dec.TilesPerStack(app.Htile))
+	perTile := w + wpre
+	if n > 1 {
+		perTile += prm.ReceiveOffNode(sEW) + prm.SendOffNode(sEW)
+	}
+	if m > 1 {
+		perTile += prm.ReceiveOffNode(sNS) + prm.SendOffNode(sNS)
+	}
+	if !opts.NoContention && n > 1 && m > 1 {
+		perTile += mo.contention(prm, mach, sEW, sNS)
+	}
+	tStack := perTile*tiles - wpre
+
+	var tNon float64
+	if app.NonWavefront != nil {
+		tNon = app.NonWavefront(Env{Machine: mach, Dec: dec, Htile: app.Htile})
+	}
+
+	perIter := float64(app.NDiag)*tDiag + float64(app.NFull)*tFull +
+		float64(app.NSweeps)*tStack + tNon // (r5)
+
+	return Report{
+		App:              app.Name,
+		Machine:          mach.Name,
+		P:                dec.P(),
+		N:                n,
+		M:                m,
+		W:                w,
+		WPre:             wpre,
+		TDiagFill:        tDiag,
+		TFullFill:        tFull,
+		TStack:           tStack,
+		TNonWavefront:    tNon,
+		TimePerIteration: perIter,
+		FillTimePerIter:  float64(app.NDiag)*tDiag + float64(app.NFull)*tFull,
+		MsgBytesEW:       sEW,
+		MsgNSz:           sNS,
+		Total:            perIter * float64(app.Iterations),
+	}
+}
+
+// contention returns the total Table 6 interference added to the four
+// per-tile communication operations: I = odma + size × Gdma per
+// interfering DMA on the shared bus.
+//
+//	1 core per bus:   none
+//	2 cores per bus:  I on ReceiveN and SendS (or the EW pair for a 2×1
+//	                  core rectangle)
+//	c ≥ 4 cores:      (c/4) × I on each Send and Receive
+func (mo *Model) contention(prm logp.Params, mach machine.Machine, sEW, sNS int) float64 {
+	c := mach.CoresPerBus()
+	iOf := func(size int) float64 { return prm.Odma() + float64(size)*prm.Gdma }
+	switch {
+	case c <= 1:
+		return 0
+	case c == 2:
+		if mach.Cx == 2 {
+			return 2 * iOf(sEW)
+		}
+		return 2 * iOf(sNS)
+	default:
+		mult := float64(c) / 4
+		return mult * 2 * (iOf(sEW) + iOf(sNS))
+	}
+}
+
+// AllReduceNonWavefront returns a NonWavefront callback performing count
+// 8-byte all-reduces (Sweep3D: 2, Chimaera: 1; paper Table 3).
+func AllReduceNonWavefront(count int) func(Env) float64 {
+	return func(e Env) float64 {
+		return float64(count) * e.Machine.Params.AllReduceDouble(e.P(), e.Machine.CoresPerNode)
+	}
+}
+
+// StencilNonWavefront returns a NonWavefront callback modelling LU's
+// four-point stencil between iterations: each rank exchanges one boundary
+// message with up to four neighbours and computes wgStencil per local cell.
+// The model is a sum of simple terms with the same level of abstraction as
+// the all-reduce model (paper Section 4.1).
+func StencilNonWavefront(wgStencil float64, bytesPerCell int) func(Env) float64 {
+	return func(e Env) float64 {
+		prm := e.Machine.Params
+		ew := bytesPerCell * e.Dec.CellsPerRankY() * e.Dec.Grid.Nz
+		ns := bytesPerCell * e.Dec.CellsPerRankX() * e.Dec.Grid.Nz
+		comm := 2*prm.TotalCommOffNode(ew) + 2*prm.TotalCommOffNode(ns)
+		comp := wgStencil * float64(e.Dec.CellsPerRankX()) * float64(e.Dec.CellsPerRankY()) * float64(e.Dec.Grid.Nz)
+		return comm + comp
+	}
+}

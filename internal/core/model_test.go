@@ -1,0 +1,521 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+	"repro/internal/logp"
+	"repro/internal/machine"
+	"repro/internal/wavefront"
+)
+
+// testApp returns a transport-like app with simple parameters.
+func testApp(g grid.Grid, htile int) App {
+	return App{
+		Name:  "test",
+		Grid:  g,
+		Wg:    0.7,
+		WgPre: 0,
+		Htile: htile,
+		EWBytes: func(dec grid.Decomposition, h int) int {
+			return 8 * h * 6 * dec.CellsPerRankY()
+		},
+		NSBytes: func(dec grid.Decomposition, h int) int {
+			return 8 * h * 6 * dec.CellsPerRankX()
+		},
+		NonWavefront: AllReduceNonWavefront(2),
+		Iterations:   1,
+	}.FromCorners(wavefront.Sweep3DCorners())
+}
+
+func almostEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestValidate(t *testing.T) {
+	app := testApp(grid.Cube(32), 2)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := app
+	bad.Grid = grid.Grid{}
+	if bad.Validate() == nil {
+		t.Error("invalid grid accepted")
+	}
+	bad = app
+	bad.Htile = 0
+	if bad.Validate() == nil {
+		t.Error("zero Htile accepted")
+	}
+	bad = app
+	bad.NSweeps = 0
+	if bad.Validate() == nil {
+		t.Error("zero sweeps accepted")
+	}
+	bad = app
+	bad.EWBytes = nil
+	if bad.Validate() == nil {
+		t.Error("missing message size function accepted")
+	}
+	bad = app
+	bad.Wg = -1
+	if bad.Validate() == nil {
+		t.Error("negative Wg accepted")
+	}
+	bad = app
+	bad.Iterations = 0
+	if bad.Validate() == nil {
+		t.Error("zero iterations accepted")
+	}
+	bad = app
+	bad.NFull = -1
+	if bad.Validate() == nil {
+		t.Error("negative nfull accepted")
+	}
+}
+
+func TestFromCornersMatchesWavefrontClassify(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := r.Intn(10) + 1
+			cs := make([]grid.Corner, n)
+			for i := range cs {
+				cs[i] = grid.Corner(r.Intn(4))
+			}
+			vals[0] = reflect.ValueOf(cs)
+		},
+	}
+	prop := func(cs []grid.Corner) bool {
+		app := testApp(grid.Cube(16), 2).FromCorners(cs)
+		ns, nf, nd := wavefront.Classify(cs)
+		return app.NSweeps == ns && app.NFull == nf && app.NDiag == nd
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleProcessorIsPureComputePlusNonWavefront(t *testing.T) {
+	g := grid.NewGrid(16, 16, 8)
+	app := testApp(g, 2)
+	mach := machine.XT4SingleCore()
+	rep, err := New(app, mach).Evaluate(grid.MustDecompose(g, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One rank: no fills beyond Wpre, Tstack = W × tiles.
+	w := app.Wg * 2 * 16 * 16
+	wantStack := w * 4 // Nz/Htile = 4 tiles
+	if !almostEq(rep.TStack, wantStack) {
+		t.Errorf("TStack = %v, want %v", rep.TStack, wantStack)
+	}
+	want := float64(app.NSweeps)*wantStack + rep.TNonWavefront
+	if !almostEq(rep.TimePerIteration, want) {
+		t.Errorf("TimePerIteration = %v, want %v", rep.TimePerIteration, want)
+	}
+}
+
+func TestRecurrenceHandComputed2x2(t *testing.T) {
+	// Hand-evaluate equations (r2a)–(r3b) on a 2×2 array with one core per
+	// node.
+	g := grid.NewGrid(8, 8, 4)
+	app := testApp(g, 2)
+	mach := machine.XT4SingleCore()
+	p := mach.Params
+	dec := grid.MustDecompose(g, 2, 2)
+	rep, err := New(app, mach).Evaluate(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := app.Wg * 2 * 4 * 4 // Wg × Htile × Nx/n × Ny/m
+	sEW := 8 * 2 * 6 * 4
+	sNS := 8 * 2 * 6 * 4
+	s11 := 0.0
+	s21 := s11 + w + p.TotalCommOffNode(sEW)                      // j=1 row: no ReceiveN
+	s12 := s11 + w + p.TotalCommOffNode(sNS) + p.SendOffNode(sEW) // i=1: SendE of (1,1) exposed? i<n so yes
+	s22 := math.Max(s21+w+p.TotalCommOffNode(sNS),                // north last: (2,1) has no east neighbour
+		s12+w+p.TotalCommOffNode(sEW)+p.ReceiveOffNode(sNS)) // west last
+	if !almostEq(rep.TDiagFill, s12) {
+		t.Errorf("TDiagFill = %v, want StartP(1,2) = %v", rep.TDiagFill, s12)
+	}
+	if !almostEq(rep.TFullFill, s22) {
+		t.Errorf("TFullFill = %v, want StartP(2,2) = %v", rep.TFullFill, s22)
+	}
+}
+
+func TestTStackFormula(t *testing.T) {
+	// Equation (r4): (ReceiveW + ReceiveN + W + SendE + SendS + Wpre)
+	// × Nz/Htile − Wpre, with off-node costs.
+	g := grid.NewGrid(16, 16, 12)
+	app := testApp(g, 3)
+	app.WgPre = 0.2
+	mach := machine.XT4SingleCore()
+	p := mach.Params
+	dec := grid.MustDecompose(g, 4, 4)
+	rep, err := New(app, mach).Evaluate(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := app.Wg * 3 * 4 * 4
+	wpre := app.WgPre * 3 * 4 * 4
+	sEW := 8 * 3 * 6 * 4
+	sNS := 8 * 3 * 6 * 4
+	perTile := p.ReceiveOffNode(sEW) + p.ReceiveOffNode(sNS) + w +
+		p.SendOffNode(sEW) + p.SendOffNode(sNS) + wpre
+	want := perTile*4 - wpre // 12/3 = 4 tiles
+	if !almostEq(rep.TStack, want) {
+		t.Errorf("TStack = %v, want %v", rep.TStack, want)
+	}
+}
+
+func TestEquationR5Composition(t *testing.T) {
+	g := grid.NewGrid(16, 16, 8)
+	app := testApp(g, 2)
+	mach := machine.XT4SingleCore()
+	rep, err := New(app, mach).Evaluate(grid.MustDecompose(g, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(app.NDiag)*rep.TDiagFill + float64(app.NFull)*rep.TFullFill +
+		float64(app.NSweeps)*rep.TStack + rep.TNonWavefront
+	if !almostEq(rep.TimePerIteration, want) {
+		t.Errorf("r5 composition broken: %v vs %v", rep.TimePerIteration, want)
+	}
+	if !almostEq(rep.Total, rep.TimePerIteration*float64(app.Iterations)) {
+		t.Errorf("Total = %v", rep.Total)
+	}
+	if !almostEq(rep.FillTimePerIter, float64(app.NDiag)*rep.TDiagFill+float64(app.NFull)*rep.TFullFill) {
+		t.Errorf("FillTimePerIter = %v", rep.FillTimePerIter)
+	}
+}
+
+func TestBreakdownSumsToTotal(t *testing.T) {
+	g := grid.NewGrid(32, 32, 16)
+	app := testApp(g, 2)
+	for _, mach := range []machine.Machine{machine.XT4SingleCore(), machine.XT4()} {
+		rep, err := New(app, mach).EvaluateP(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(rep.ComputePerIter+rep.CommPerIter, rep.TimePerIteration) {
+			t.Errorf("%s: breakdown %v + %v != %v", mach.Name,
+				rep.ComputePerIter, rep.CommPerIter, rep.TimePerIteration)
+		}
+		if rep.CommPerIter <= 0 || rep.ComputePerIter <= 0 {
+			t.Errorf("%s: non-positive components %v/%v", mach.Name, rep.ComputePerIter, rep.CommPerIter)
+		}
+	}
+}
+
+func TestCommShareGrowsWithP(t *testing.T) {
+	g := grid.Cube(64)
+	app := testApp(g, 2)
+	mach := machine.XT4()
+	prev := -1.0
+	for _, p := range []int{16, 64, 256, 1024} {
+		rep, err := New(app, mach).EvaluateP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		share := rep.CommPerIter / rep.TimePerIteration
+		if share <= prev {
+			t.Errorf("comm share not increasing at P=%d: %v <= %v", p, share, prev)
+		}
+		prev = share
+	}
+}
+
+func TestFillGrowsWithHtileAndCommShrinks(t *testing.T) {
+	// Section 5.1: larger Htile → longer pipeline fill but lower per-cell
+	// communication cost.
+	g := grid.Cube(64)
+	mach := machine.XT4()
+	rep1, err := New(testApp(g, 1), mach).EvaluateP(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep4, err := New(testApp(g, 4), mach).EvaluateP(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep4.TFullFill <= rep1.TFullFill {
+		t.Errorf("fill did not grow with Htile: %v vs %v", rep4.TFullFill, rep1.TFullFill)
+	}
+	if rep4.CommPerIter >= rep1.CommPerIter {
+		t.Errorf("comm did not shrink with Htile: %v vs %v", rep4.CommPerIter, rep1.CommPerIter)
+	}
+}
+
+func TestMoreProcessorsReduceIterationTime(t *testing.T) {
+	g := grid.Cube(96)
+	app := testApp(g, 2)
+	mach := machine.XT4()
+	prev := math.Inf(1)
+	for _, p := range []int{16, 64, 256, 1024} {
+		rep, err := New(app, mach).EvaluateP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TimePerIteration >= prev {
+			t.Errorf("no speedup at P=%d: %v >= %v", p, rep.TimePerIteration, prev)
+		}
+		prev = rep.TimePerIteration
+	}
+}
+
+func TestMulticoreContentionOrdering(t *testing.T) {
+	// With the same total core count, more cores per shared bus must not
+	// run faster (Table 6 contention, Section 5.3).
+	g := grid.Cube(64)
+	app := testApp(g, 2)
+	const p = 256
+	var prev float64
+	for i, cores := range []int{1, 2, 4, 8, 16} {
+		mach, err := machine.XT4MultiCore(cores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := New(app, mach).EvaluateP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stack := rep.TStack
+		if i > 0 && stack < prev-1e-9 {
+			t.Errorf("Tstack decreased going to %d cores/bus: %v < %v", cores, stack, prev)
+		}
+		prev = stack
+	}
+}
+
+func TestBusGroupsRecoverQuadCoreStack(t *testing.T) {
+	// A 16-core node with four 4-core bus groups has the same Tstack
+	// contention as a quad-core node (Section 5.3).
+	g := grid.Cube(64)
+	app := testApp(g, 2)
+	quad, err := machine.XT4MultiCore(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := machine.XT4MultiCoreGrouped(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repQuad, err := New(app, quad).EvaluateP(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repGrp, err := New(app, grouped).EvaluateP(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(repQuad.TStack, repGrp.TStack) {
+		t.Errorf("Tstack: quad %v vs grouped-16 %v", repQuad.TStack, repGrp.TStack)
+	}
+}
+
+func TestOnChipCommReducesFill(t *testing.T) {
+	// Dual-core nodes make half the north-south messages on-chip, which
+	// must not increase the fill time relative to all-off-node.
+	g := grid.Cube(64)
+	app := testApp(g, 2)
+	m := New(app, machine.XT4())
+	dec := grid.MustDecompose(g, 8, 8)
+	full, err := m.Evaluate(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Opts.ForceOffNode = true
+	off, err := m.Evaluate(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.TFullFill > off.TFullFill+1e-9 {
+		t.Errorf("on-chip fill %v exceeds off-node fill %v", full.TFullFill, off.TFullFill)
+	}
+}
+
+func TestSyncTermsOption(t *testing.T) {
+	g := grid.Cube(64)
+	app := testApp(g, 2)
+	m := New(app, machine.SP2())
+	dec := grid.MustDecompose(g, 8, 8)
+	plain, err := m.Evaluate(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Opts.SyncTerms = true
+	sync, err := m.Evaluate(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDiag := plain.TDiagFill + 7*machine.SP2().Params.L
+	if !almostEq(sync.TDiagFill, wantDiag) {
+		t.Errorf("sync TDiagFill = %v, want %v", sync.TDiagFill, wantDiag)
+	}
+	wantFull := plain.TFullFill + (7+6)*machine.SP2().Params.L
+	if !almostEq(sync.TFullFill, wantFull) {
+		t.Errorf("sync TFullFill = %v, want %v", sync.TFullFill, wantFull)
+	}
+}
+
+func TestNoContentionOption(t *testing.T) {
+	g := grid.Cube(64)
+	app := testApp(g, 2)
+	m := New(app, machine.XT4())
+	dec := grid.MustDecompose(g, 8, 8)
+	with, err := m.Evaluate(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Opts.NoContention = true
+	without, err := m.Evaluate(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.TStack >= with.TStack {
+		t.Errorf("contention-free stack %v not smaller than %v", without.TStack, with.TStack)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	g := grid.Cube(32)
+	app := testApp(g, 2)
+	m := New(app, machine.XT4())
+	if _, err := m.Evaluate(grid.MustDecompose(grid.Cube(16), 2, 2)); err == nil {
+		t.Error("mismatched grid accepted")
+	}
+	bad := app
+	bad.Htile = -1
+	if _, err := New(bad, machine.XT4()).EvaluateP(4); err == nil {
+		t.Error("invalid app accepted")
+	}
+	badMach := machine.XT4()
+	badMach.Cx = 5
+	if _, err := New(app, badMach).EvaluateP(4); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}
+
+func TestWithHelpers(t *testing.T) {
+	app := testApp(grid.Cube(32), 2)
+	if got := app.WithHtile(5).Htile; got != 5 {
+		t.Errorf("WithHtile = %d", got)
+	}
+	re := app.WithSweepStructure(240, 2, 2)
+	if re.NSweeps != 240 || re.NFull != 2 || re.NDiag != 2 {
+		t.Errorf("WithSweepStructure = %+v", re)
+	}
+	if app.NSweeps != 8 {
+		t.Error("WithSweepStructure mutated the receiver")
+	}
+}
+
+func TestReportUnits(t *testing.T) {
+	r := Report{Total: 2 * 86400 * 1e6}
+	if !almostEq(r.TotalDays(), 2) {
+		t.Errorf("TotalDays = %v", r.TotalDays())
+	}
+	if !almostEq(r.TotalSeconds(), 2*86400) {
+		t.Errorf("TotalSeconds = %v", r.TotalSeconds())
+	}
+	if !almostEq(r.Scale(3).Total, 6*86400*1e6) {
+		t.Errorf("Scale broken")
+	}
+}
+
+func TestStencilNonWavefront(t *testing.T) {
+	g := grid.Cube(32)
+	fn := StencilNonWavefront(0.1, 40)
+	env := Env{Machine: machine.XT4SingleCore(), Dec: grid.MustDecompose(g, 4, 4), Htile: 1}
+	got := fn(env)
+	p := env.Machine.Params
+	ew := 40 * 8 * 32
+	comp := 0.1 * 8 * 8 * 32
+	want := 4*p.TotalCommOffNode(ew) + comp
+	if !almostEq(got, want) {
+		t.Errorf("stencil = %v, want %v", got, want)
+	}
+}
+
+func TestAllReduceNonWavefront(t *testing.T) {
+	g := grid.Cube(32)
+	env := Env{Machine: machine.XT4(), Dec: grid.MustDecompose(g, 8, 8), Htile: 1}
+	got := AllReduceNonWavefront(2)(env)
+	want := 2 * machine.XT4().Params.AllReduceDouble(64, 2)
+	if !almostEq(got, want) {
+		t.Errorf("allreduce non-wavefront = %v, want %v", got, want)
+	}
+	if env.P() != 64 {
+		t.Errorf("Env.P = %d", env.P())
+	}
+}
+
+func TestDegenerateShapes(t *testing.T) {
+	g := grid.NewGrid(64, 4, 16)
+	app := testApp(g, 2)
+	app.Grid = g
+	// 1×P and P×1 pipelines must evaluate without panicking.
+	for _, shape := range [][2]int{{8, 1}, {1, 4}, {64, 1}} {
+		dec := grid.MustDecompose(g, shape[0], shape[1])
+		rep, err := New(app, machine.XT4SingleCore()).Evaluate(dec)
+		if err != nil {
+			t.Fatalf("shape %v: %v", shape, err)
+		}
+		if rep.TimePerIteration <= 0 || math.IsNaN(rep.TimePerIteration) {
+			t.Errorf("shape %v: time %v", shape, rep.TimePerIteration)
+		}
+		if rep.TFullFill < rep.TDiagFill-1e9 {
+			t.Errorf("shape %v: full fill %v < diag fill %v", shape, rep.TFullFill, rep.TDiagFill)
+		}
+	}
+}
+
+func TestFullFillAtLeastDiagFill(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(r.Intn(12) + 1)
+			vals[1] = reflect.ValueOf(r.Intn(12) + 1)
+			vals[2] = reflect.ValueOf(r.Intn(3) + 1)
+		},
+	}
+	prop := func(n, m, htile int) bool {
+		g := grid.Cube(48)
+		app := testApp(g, htile)
+		rep, err := New(app, machine.XT4()).Evaluate(grid.MustDecompose(g, n, m))
+		if err != nil {
+			return false
+		}
+		return rep.TFullFill >= rep.TDiagFill-1e-9 && rep.TDiagFill >= 0
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroCommParamsGivePureComputeModel(t *testing.T) {
+	g := grid.NewGrid(16, 16, 8)
+	app := testApp(g, 2)
+	mach := machine.XT4SingleCore()
+	mach.Params = logp.Params{Name: "zero"}
+	rep, err := New(app, mach).Evaluate(grid.MustDecompose(g, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := app.Wg * 2 * 4 * 4
+	// Fill to (n,m): 6 hops × w; stack: 4 tiles × w.
+	if !almostEq(rep.TFullFill, 6*w) {
+		t.Errorf("zero-comm TFullFill = %v, want %v", rep.TFullFill, 6*w)
+	}
+	if !almostEq(rep.TStack, 4*w) {
+		t.Errorf("zero-comm TStack = %v, want %v", rep.TStack, 4*w)
+	}
+	if rep.CommPerIter != 0 {
+		t.Errorf("zero-comm CommPerIter = %v", rep.CommPerIter)
+	}
+}

@@ -1,0 +1,152 @@
+// Package des provides a minimal deterministic discrete-event simulation
+// engine: a virtual clock, a priority queue of timestamped events, and a
+// first-come-first-served resource used to model shared hardware such as a
+// node's memory bus (paper Section 4.3).
+//
+// Events scheduled for the same virtual time fire in the order they were
+// scheduled, which makes simulations bit-for-bit reproducible.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	ran    uint64
+}
+
+// Now returns the current virtual time in microseconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// EventsRun returns the number of events executed so far.
+func (e *Engine) EventsRun() uint64 { return e.ran }
+
+// Pending returns the number of scheduled events not yet executed.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after the given non-negative delay of virtual time.
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("des: invalid delay %v", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t, which must not be in the past.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("des: scheduling into the past (t=%v, now=%v)", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{time: t, seq: e.seq, fn: fn})
+}
+
+// Step executes the next event, if any, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.time
+	e.ran++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain and returns the final virtual time.
+func (e *Engine) Run() float64 {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps ≤ t, then advances the clock to
+// t if it has not already passed it.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.events) > 0 && e.events[0].time <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+type event struct {
+	time float64
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Resource models a single FCFS server (e.g. a node's shared memory bus).
+// Requests occupy the resource for a fixed duration in arrival order; a
+// request arriving while the resource is busy is queued and experiences
+// waiting time. Resource tracks aggregate utilisation statistics so that
+// experiments can report contention.
+type Resource struct {
+	freeAt   float64
+	busyTime float64
+	waits    float64
+	requests uint64
+	queued   uint64
+}
+
+// Acquire reserves the resource for duration dur starting no earlier than
+// now. It returns the waiting time the request experienced before service
+// began (zero when the resource was idle).
+func (r *Resource) Acquire(now, dur float64) (wait float64) {
+	if dur < 0 || now < 0 {
+		panic(fmt.Sprintf("des: invalid resource acquisition now=%v dur=%v", now, dur))
+	}
+	start := now
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	wait = start - now
+	r.freeAt = start + dur
+	r.busyTime += dur
+	r.waits += wait
+	r.requests++
+	if wait > 0 {
+		r.queued++
+	}
+	return wait
+}
+
+// FreeAt returns the virtual time at which the resource next becomes idle.
+func (r *Resource) FreeAt() float64 { return r.freeAt }
+
+// Stats returns aggregate counters: total requests, requests that queued,
+// total busy time and total waiting time.
+func (r *Resource) Stats() (requests, queued uint64, busy, waited float64) {
+	return r.requests, r.queued, r.busyTime, r.waits
+}

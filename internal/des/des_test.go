@@ -1,0 +1,208 @@
+package des
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var e Engine
+	var order []float64
+	for _, d := range []float64{5, 1, 3, 2, 4} {
+		d := d
+		e.Schedule(d, func() { order = append(order, d) })
+	}
+	end := e.Run()
+	if end != 5 {
+		t.Errorf("final time = %v", end)
+	}
+	if !sort.Float64sAreSorted(order) {
+		t.Errorf("events out of order: %v", order)
+	}
+	if e.EventsRun() != 5 {
+		t.Errorf("EventsRun = %d", e.EventsRun())
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1.0, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var e Engine
+	var hits []float64
+	e.Schedule(1, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(2, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 3 {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestSchedulePanicsOnNegativeDelay(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	e.Schedule(-1, func() {})
+}
+
+func TestAtPanicsOnPast(t *testing.T) {
+	var e Engine
+	e.Schedule(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	fired := 0
+	e.Schedule(1, func() { fired++ })
+	e.Schedule(10, func() { fired++ })
+	e.RunUntil(5)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 5 {
+		t.Errorf("Now = %v, want 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	e.Run()
+	if fired != 2 || e.Now() != 10 {
+		t.Errorf("after Run: fired=%d now=%v", fired, e.Now())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Error("Step on empty engine returned true")
+	}
+}
+
+func TestResourceFCFS(t *testing.T) {
+	var r Resource
+	// Idle resource: no wait.
+	if w := r.Acquire(0, 5); w != 0 {
+		t.Errorf("first acquire wait = %v", w)
+	}
+	// Request at t=2 while busy until 5: waits 3.
+	if w := r.Acquire(2, 5); w != 3 {
+		t.Errorf("second acquire wait = %v, want 3", w)
+	}
+	// Now busy until 10; request at 12: no wait.
+	if w := r.Acquire(12, 1); w != 0 {
+		t.Errorf("third acquire wait = %v", w)
+	}
+	req, q, busy, waited := r.Stats()
+	if req != 3 || q != 1 || busy != 11 || waited != 3 {
+		t.Errorf("Stats = %d %d %v %v", req, q, busy, waited)
+	}
+	if r.FreeAt() != 13 {
+		t.Errorf("FreeAt = %v", r.FreeAt())
+	}
+}
+
+func TestResourcePanicsOnInvalid(t *testing.T) {
+	var r Resource
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	r.Acquire(1, -2)
+}
+
+func TestResourceConservationProperty(t *testing.T) {
+	// For any sequence of time-ordered acquisitions, total busy time equals
+	// the sum of durations and waits never decrease service order.
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(vals []reflect.Value, rr *rand.Rand) {
+			n := rr.Intn(20) + 1
+			ts := make([]float64, n)
+			ds := make([]float64, n)
+			now := 0.0
+			for i := range ts {
+				now += rr.Float64() * 3
+				ts[i] = now
+				ds[i] = rr.Float64() * 4
+			}
+			vals[0] = reflect.ValueOf(ts)
+			vals[1] = reflect.ValueOf(ds)
+		},
+	}
+	prop := func(ts, ds []float64) bool {
+		var r Resource
+		var sum float64
+		lastStart := -1.0
+		for i := range ts {
+			w := r.Acquire(ts[i], ds[i])
+			start := ts[i] + w
+			if start < lastStart {
+				return false // service must be FCFS
+			}
+			lastStart = start
+			sum += ds[i]
+		}
+		_, _, busy, _ := r.Stats()
+		return busy == sum
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		var e Engine
+		var log []float64
+		rng := rand.New(rand.NewSource(7))
+		var rec func(depth int)
+		rec = func(depth int) {
+			log = append(log, e.Now())
+			if depth < 3 {
+				for i := 0; i < 2; i++ {
+					e.Schedule(rng.Float64(), func() { rec(depth + 1) })
+				}
+			}
+		}
+		e.Schedule(0, func() { rec(0) })
+		e.Run()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/logp"
+)
+
+func TestRegistryHasAllPaperArtefacts(t *testing.T) {
+	want := []string{
+		"table2", "fig3a", "fig3b", "allreduce", "validate",
+		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"table4", "sweeps",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", true); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		ID: "x", Title: "demo",
+		Columns: []string{"a", "bbbb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"hello"},
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: demo ==", "bbbb", "333", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Experiment(t *testing.T) {
+	tab, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Errorf("rows = %d", len(tab.Rows))
+	}
+	// Every derived parameter within 0.5% of the injected value.
+	for _, row := range tab.Rows {
+		if !strings.Contains(row[3], "0.00%") {
+			t.Errorf("parameter %s off: %v", row[0], row[3])
+		}
+	}
+}
+
+func TestFig3Experiments(t *testing.T) {
+	for _, path := range []logp.Path{logp.OffNode, logp.OnChip} {
+		pts, sum, err := Fig3Data(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) == 0 {
+			t.Fatal("no points")
+		}
+		// Uncontended simulation follows Table 1 exactly.
+		if sum.MaxAbs > 1e-9 {
+			t.Errorf("%v: model/sim mismatch %v", path, sum)
+		}
+		// Times increase with size within each protocol segment and jump
+		// at the threshold.
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Simulated < pts[i-1].Simulated-1e-9 &&
+				pts[i-1].Bytes != 1024 {
+				t.Errorf("%v: non-monotone at %d bytes", path, pts[i].Bytes)
+			}
+		}
+	}
+}
+
+func TestAllReduceExperiment(t *testing.T) {
+	pts, err := AllReduceData([]int{4, 16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Simulated <= 0 || p.Model <= 0 {
+			t.Errorf("P=%d: non-positive times %+v", p.P, p)
+		}
+		// Equation (9) is an upper bound (serialised NIC sharing); the
+		// simulated recursive doubling must not exceed ~1.1× of it and
+		// should be at least the C=1 lower bound.
+		if p.Simulated > p.Model*1.1 {
+			t.Errorf("P=%d: simulated %v far above model %v", p.P, p.Simulated, p.Model)
+		}
+	}
+}
+
+func TestValidationWithinPaperBounds(t *testing.T) {
+	cfg := DefaultValidationConfig(true)
+	pts, err := ValidateData(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 { // 3 apps × 2 processor counts
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		bound := 0.12
+		if p.App == "LU" {
+			bound = 0.08
+		}
+		if p.RelErr < -bound || p.RelErr > bound {
+			t.Errorf("%s P=%d: model error %.2f%% outside ±%.0f%%",
+				p.App, p.P, p.RelErr*100, bound*100)
+		}
+	}
+}
+
+func TestQuickDriversRun(t *testing.T) {
+	// Every registered driver must succeed in quick mode; the heavier ones
+	// are exercised individually elsewhere.
+	if testing.Short() {
+		t.Skip("runs every driver")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab, err := Run(id, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Error("no rows")
+			}
+			if tab.ID != id {
+				t.Errorf("table id %q", tab.ID)
+			}
+		})
+	}
+}
+
+func TestFig6DataShape(t *testing.T) {
+	pts, err := Fig6Data([]int{1024, 4096, 16384}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diminishing but monotone improvement.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].PredictedDays >= pts[i-1].PredictedDays {
+			t.Errorf("no improvement at P=%d", pts[i].P)
+		}
+	}
+	speedup := pts[0].PredictedDays / pts[2].PredictedDays
+	if speedup < 4 || speedup > 16 {
+		t.Errorf("16× processors gave %vx speedup", speedup)
+	}
+}
+
+func TestFig11CommunicationEventuallyDominates(t *testing.T) {
+	pts, err := Fig11Data([]int{1024, 32768})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := pts[0], pts[1]
+	if small.CommDays/small.TotalDays >= 0.5 {
+		t.Errorf("communication already dominates at P=1024 (%.1f%%)",
+			small.CommDays/small.TotalDays*100)
+	}
+	if large.CommDays/large.TotalDays <= 0.5 {
+		t.Errorf("communication does not dominate at P=32768 (%.1f%%)",
+			large.CommDays/large.TotalDays*100)
+	}
+}

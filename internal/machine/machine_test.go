@@ -1,0 +1,138 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStandardMachinesValidate(t *testing.T) {
+	for _, m := range []Machine{XT4(), XT4SingleCore(), SP2()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestXT4Shape(t *testing.T) {
+	m := XT4()
+	if m.CoresPerNode != 2 || m.Cx != 1 || m.Cy != 2 || m.BusGroups != 1 {
+		t.Errorf("XT4 = %+v", m)
+	}
+}
+
+func TestCoreRectangle(t *testing.T) {
+	// Table 6 / Section 5.3 arrangements.
+	for _, tc := range []struct{ cores, cx, cy int }{
+		{1, 1, 1}, {2, 1, 2}, {4, 2, 2}, {8, 2, 4}, {16, 4, 4}, {6, 2, 3}, {12, 3, 4},
+	} {
+		cx, cy, err := CoreRectangle(tc.cores)
+		if err != nil {
+			t.Fatalf("CoreRectangle(%d): %v", tc.cores, err)
+		}
+		if cx != tc.cx || cy != tc.cy {
+			t.Errorf("CoreRectangle(%d) = %dx%d, want %dx%d", tc.cores, cx, cy, tc.cx, tc.cy)
+		}
+	}
+	if _, _, err := CoreRectangle(0); err == nil {
+		t.Error("CoreRectangle(0) accepted")
+	}
+}
+
+func TestXT4MultiCore(t *testing.T) {
+	for _, cores := range []int{1, 2, 4, 8, 16} {
+		m, err := XT4MultiCore(cores)
+		if err != nil {
+			t.Fatalf("XT4MultiCore(%d): %v", cores, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("XT4MultiCore(%d): %v", cores, err)
+		}
+		if m.Cx*m.Cy != cores {
+			t.Errorf("rectangle %dx%d does not cover %d cores", m.Cx, m.Cy, cores)
+		}
+	}
+	if _, err := XT4MultiCore(-2); err == nil {
+		t.Error("negative cores accepted")
+	}
+}
+
+func TestXT4MultiCoreGrouped(t *testing.T) {
+	m, err := XT4MultiCoreGrouped(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BusGroups != 4 || m.CoresPerBus() != 4 {
+		t.Errorf("grouped machine = %+v", m)
+	}
+	if _, err := XT4MultiCoreGrouped(16, 3); err == nil {
+		t.Error("16 cores in 3 groups accepted")
+	}
+	if _, err := XT4MultiCoreGrouped(16, 0); err == nil {
+		t.Error("zero groups accepted")
+	}
+}
+
+func TestValidateRejectsInconsistent(t *testing.T) {
+	m := XT4()
+	m.Cx = 2 // 2×2 ≠ 2 cores
+	if err := m.Validate(); err == nil {
+		t.Error("bad rectangle accepted")
+	}
+	m = XT4()
+	m.CoresPerNode = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero cores accepted")
+	}
+	m = XT4()
+	m.BusGroups = 3
+	if err := m.Validate(); err == nil {
+		t.Error("2 cores in 3 bus groups accepted")
+	}
+	m = XT4()
+	m.Params.L = -5
+	if err := m.Validate(); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestContentionFactor(t *testing.T) {
+	// Paper Table 6: 1×2 → I on two of four ops (factor 0.5 on all four),
+	// 2×2 → I each (1), 2×4 → 2I each (2); generalised 4×4 → 4I (4).
+	for _, tc := range []struct {
+		cores, groups int
+		want          float64
+	}{
+		{1, 1, 0}, {2, 1, 0.5}, {4, 1, 1}, {8, 1, 2}, {16, 1, 4},
+		{16, 4, 1},  // four cores per bus → 2×2 behaviour
+		{16, 2, 2},  // eight per bus
+		{16, 16, 0}, // one per bus
+	} {
+		m, err := XT4MultiCoreGrouped(tc.cores, tc.groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.ContentionFactor(); got != tc.want {
+			t.Errorf("ContentionFactor(%d cores, %d groups) = %v, want %v",
+				tc.cores, tc.groups, got, tc.want)
+		}
+	}
+}
+
+func TestNodes(t *testing.T) {
+	m := XT4()
+	if got := m.Nodes(8192); got != 4096 {
+		t.Errorf("Nodes(8192) = %d", got)
+	}
+	if got := m.Nodes(3); got != 2 {
+		t.Errorf("Nodes(3) = %d, want 2 (rounded up)", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := XT4().String()
+	for _, want := range []string{"XT4", "1x2", "2 cores"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

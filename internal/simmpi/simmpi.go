@@ -1,0 +1,599 @@
+// Package simmpi is a deterministic discrete-event simulator of an
+// MPI-style message-passing runtime on a multi-core parallel machine.
+//
+// Each rank executes a program of operations (Compute, Send, Recv,
+// AllReduce) with blocking MPI semantics. Message timing follows the LogGP
+// sub-models of paper Table 1: the eager protocol for messages of at most
+// 1024 bytes and the rendezvous (handshake) protocol above that threshold
+// (Section 3.1), with the on-chip copy/DMA paths of Section 3.2 when sender
+// and receiver share a node. Every off-node or on-chip DMA passes through
+// the owning node's shared bus (a FCFS resource, paper Section 4.3), so
+// multi-core message contention emerges from queueing rather than being a
+// closed-form term.
+//
+// The simulator serves as the reproduction's "measured" substrate: the
+// plug-and-play analytic model of internal/core is validated against it the
+// way the paper validates against the Cray XT4.
+package simmpi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/logp"
+	"repro/internal/simnet"
+)
+
+// OpKind identifies a program operation.
+type OpKind uint8
+
+// Program operations.
+const (
+	OpCompute   OpKind = iota // local computation for Dur microseconds
+	OpSend                    // blocking MPI send of Bytes to Peer
+	OpRecv                    // blocking MPI receive from Peer
+	OpAllReduce               // MPI all-reduce of Bytes over all ranks
+)
+
+// Op is a single program operation. The zero Op is a zero-length compute.
+type Op struct {
+	Kind  OpKind
+	Peer  int32   // send/recv peer rank
+	Bytes int32   // message size in bytes
+	Dur   float64 // compute duration in microseconds
+}
+
+// Compute returns a computation op of the given duration in microseconds.
+func Compute(dur float64) Op { return Op{Kind: OpCompute, Dur: dur} }
+
+// Send returns a blocking send op.
+func Send(peer, bytes int) Op {
+	return Op{Kind: OpSend, Peer: int32(peer), Bytes: int32(bytes)}
+}
+
+// Recv returns a blocking receive op.
+func Recv(peer int) Op { return Op{Kind: OpRecv, Peer: int32(peer)} }
+
+// AllReduce returns an all-reduce op over all ranks.
+func AllReduce(bytes int) Op { return Op{Kind: OpAllReduce, Bytes: int32(bytes)} }
+
+// Program supplies a rank's operations one at a time, which lets wavefront
+// programs with millions of operations be generated lazily.
+type Program interface {
+	// Next returns the next operation, or ok == false at program end.
+	Next() (op Op, ok bool)
+}
+
+// SliceProgram is a Program backed by a slice of operations.
+type SliceProgram struct {
+	ops []Op
+	pos int
+}
+
+// Ops builds a SliceProgram from a fixed operation list.
+func Ops(ops ...Op) *SliceProgram { return &SliceProgram{ops: ops} }
+
+// Next implements Program.
+func (p *SliceProgram) Next() (Op, bool) {
+	if p.pos >= len(p.ops) {
+		return Op{}, false
+	}
+	op := p.ops[p.pos]
+	p.pos++
+	return op, true
+}
+
+// FuncProgram adapts a generator function to the Program interface.
+type FuncProgram func() (Op, bool)
+
+// Next implements Program.
+func (f FuncProgram) Next() (Op, bool) { return f() }
+
+// Result summarises a completed simulation.
+type Result struct {
+	// Time is the virtual time at which the last rank finished, in µs.
+	Time float64
+	// RankFinish holds each rank's finish time in µs.
+	RankFinish []float64
+	// ComputeTime holds each rank's total Compute-op time in µs; the
+	// difference between finish and compute time is time spent in
+	// communication and pipeline waiting (paper Figure 11's breakdown).
+	ComputeTime []float64
+	// Sends, Recvs and BytesSent count message traffic.
+	Sends, Recvs uint64
+	BytesSent    uint64
+	// Events is the number of discrete events executed.
+	Events uint64
+	// BusRequests/BusQueued/BusBusy/BusWait aggregate shared-bus contention.
+	BusRequests, BusQueued uint64
+	BusBusy, BusWait       float64
+}
+
+// MaxComputeTime returns the largest per-rank compute time.
+func (r Result) MaxComputeTime() float64 {
+	var m float64
+	for _, c := range r.ComputeTime {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Tracer receives the per-rank activity spans of a simulation: each
+// communication operation's blocking interval and each compute interval.
+// Spans are reported in completion order per rank. Implementations must
+// not call back into the Sim.
+type Tracer interface {
+	// Span reports that rank spent [start, end] in the given operation.
+	// For sends and receives, peer and bytes describe the message; for
+	// compute and all-reduce spans peer is -1.
+	Span(rank int, op OpKind, peer, bytes int, start, end float64)
+}
+
+// Sim is a configured simulation instance. A Sim may be run once.
+type Sim struct {
+	eng    des.Engine
+	topo   *simnet.Topology
+	ranks  []rankState
+	chans  map[chanKey]*channel
+	ar     map[int]*arGen
+	tracer Tracer
+
+	running int
+	sends   uint64
+	recvs   uint64
+	bytes   uint64
+}
+
+type rankState struct {
+	id      int
+	prog    Program
+	t       float64 // local time of last completed operation
+	compute float64
+	arGen   int
+	done    bool
+
+	// Tracing state: the communication op in progress and its start time.
+	inComm  bool
+	curOp   Op
+	opStart float64
+}
+
+type chanKey struct{ src, dst int32 }
+
+type channel struct {
+	msgs  []*message // unmatched or in-flight messages in sent order
+	recvs []*recvReq // posted, unmatched receives in post order
+}
+
+type message struct {
+	src, dst   int32
+	bytes      int
+	rendezvous bool
+	ready      bool    // data fully available at the receiver
+	readyAt    float64 // valid once ready
+	rtsArrived bool    // rendezvous: request-to-send reached the receiver
+	ctsIssued  bool    // rendezvous: clear-to-send was generated
+	recv       *recvReq
+}
+
+type recvReq struct {
+	rank   *rankState
+	postAt float64
+	msg    *message
+}
+
+type arGen struct {
+	bytes   int
+	entered int
+	times   []float64
+}
+
+// New creates a simulation over the given topology. Programs are assigned
+// with SetProgram; ranks without a program terminate immediately.
+func New(topo *simnet.Topology) *Sim {
+	s := &Sim{
+		topo:  topo,
+		ranks: make([]rankState, topo.Ranks()),
+		chans: make(map[chanKey]*channel),
+		ar:    make(map[int]*arGen),
+	}
+	for i := range s.ranks {
+		s.ranks[i].id = i
+	}
+	return s
+}
+
+// SetProgram assigns rank r's program.
+func (s *Sim) SetProgram(r int, p Program) { s.ranks[r].prog = p }
+
+// SetTracer installs a span tracer; pass nil to disable.
+func (s *Sim) SetTracer(t Tracer) { s.tracer = t }
+
+// Run executes the simulation to completion. It returns an error if any
+// rank blocks forever (deadlock) — e.g. a receive with no matching send.
+func (s *Sim) Run() (Result, error) {
+	s.running = len(s.ranks)
+	for i := range s.ranks {
+		s.advance(&s.ranks[i])
+	}
+	end := s.eng.Run()
+	// Pure-compute programs advance rank-local clocks without scheduling
+	// events, so the finish time is the later of the engine clock and the
+	// last rank-local completion.
+	for i := range s.ranks {
+		if s.ranks[i].done && s.ranks[i].t > end {
+			end = s.ranks[i].t
+		}
+	}
+
+	res := Result{
+		Time:        end,
+		RankFinish:  make([]float64, len(s.ranks)),
+		ComputeTime: make([]float64, len(s.ranks)),
+		Sends:       s.sends,
+		Recvs:       s.recvs,
+		BytesSent:   s.bytes,
+		Events:      s.eng.EventsRun(),
+	}
+	res.BusRequests, res.BusQueued, res.BusBusy, res.BusWait = s.topo.BusStats()
+
+	var stuck []int
+	for i := range s.ranks {
+		r := &s.ranks[i]
+		if !r.done {
+			stuck = append(stuck, r.id)
+			continue
+		}
+		res.RankFinish[r.id] = r.t
+		res.ComputeTime[r.id] = r.compute
+	}
+	if len(stuck) > 0 {
+		sort.Ints(stuck)
+		if len(stuck) > 8 {
+			return res, fmt.Errorf("simmpi: deadlock, %d ranks blocked (first: %v)", len(stuck), stuck[:8])
+		}
+		return res, fmt.Errorf("simmpi: deadlock, ranks blocked: %v", stuck)
+	}
+	return res, nil
+}
+
+// advance executes r's program from the current virtual time until the rank
+// blocks on a communication operation or finishes. Precondition: the
+// engine's clock does not exceed r.t.
+func (s *Sim) advance(r *rankState) {
+	if r.inComm {
+		r.inComm = false
+		if s.tracer != nil {
+			peer := int(r.curOp.Peer)
+			if r.curOp.Kind == OpAllReduce {
+				peer = -1
+			}
+			s.tracer.Span(r.id, r.curOp.Kind, peer, int(r.curOp.Bytes), r.opStart, r.t)
+		}
+	}
+	for {
+		if r.prog == nil {
+			s.finish(r)
+			return
+		}
+		op, ok := r.prog.Next()
+		if !ok {
+			s.finish(r)
+			return
+		}
+		switch op.Kind {
+		case OpCompute:
+			if s.tracer != nil && op.Dur > 0 {
+				s.tracer.Span(r.id, OpCompute, -1, 0, r.t, r.t+op.Dur)
+			}
+			r.compute += op.Dur
+			r.t += op.Dur
+		case OpSend, OpRecv, OpAllReduce:
+			if r.t > s.eng.Now() {
+				op := op
+				s.eng.At(r.t, func() { s.execComm(r, op) })
+			} else {
+				s.execComm(r, op)
+			}
+			return
+		default:
+			panic(fmt.Sprintf("simmpi: unknown op kind %d", op.Kind))
+		}
+	}
+}
+
+func (s *Sim) finish(r *rankState) {
+	r.done = true
+	s.running--
+}
+
+// resumeAt unblocks r at virtual time t ≥ now.
+func (s *Sim) resumeAt(r *rankState, t float64) {
+	r.t = t
+	s.eng.At(t, func() { s.advance(r) })
+}
+
+// execComm performs a communication op at engine time == r.t.
+func (s *Sim) execComm(r *rankState, op Op) {
+	r.inComm = true
+	r.curOp = op
+	r.opStart = r.t
+	switch op.Kind {
+	case OpSend:
+		s.execSend(r, int(op.Peer), int(op.Bytes))
+	case OpRecv:
+		s.execRecv(r, int(op.Peer))
+	case OpAllReduce:
+		s.execAllReduce(r, int(op.Bytes))
+	}
+}
+
+func (s *Sim) channel(src, dst int32) *channel {
+	key := chanKey{src, dst}
+	ch := s.chans[key]
+	if ch == nil {
+		ch = &channel{}
+		s.chans[key] = ch
+	}
+	return ch
+}
+
+func (s *Sim) execSend(r *rankState, peer, bytes int) {
+	if peer == r.id || peer < 0 || peer >= len(s.ranks) {
+		panic(fmt.Sprintf("simmpi: rank %d sends to invalid peer %d", r.id, peer))
+	}
+	s.sends++
+	s.bytes += uint64(bytes)
+	ts := r.t
+	p := s.topo.Params
+	path := s.topo.Path(r.id, peer)
+	msg := &message{src: int32(r.id), dst: int32(peer), bytes: bytes}
+	ch := s.channel(msg.src, msg.dst)
+	ch.msgs = append(ch.msgs, msg)
+	// Match a posted receive, if one is waiting.
+	if len(ch.recvs) > 0 {
+		req := ch.recvs[0]
+		ch.recvs = ch.recvs[1:]
+		req.msg = msg
+		msg.recv = req
+	}
+
+	switch {
+	case path == logp.OnChip && bytes <= logp.EagerThreshold:
+		// Table 1(b) eq (5): ocopy + size×Gcopy + ocopy.
+		s.resumeAt(r, ts+p.Ocopy)
+		ready := ts + p.Ocopy + float64(bytes)*p.Gcopy
+		s.eng.At(ready, func() { s.deliver(msg, ready) })
+
+	case path == logp.OnChip:
+		// Table 1(b) eq (6): o + size×Gdma + ocopy, DMA via the shared bus.
+		start := ts + p.Ochip
+		s.eng.At(start, func() {
+			wait := s.topo.AcquireBus(r.id, start, bytes)
+			s.resumeAt(r, start+wait)
+			ready := start + wait + float64(bytes)*p.Gdma
+			s.eng.At(ready, func() { s.deliver(msg, ready) })
+		})
+
+	case bytes <= logp.EagerThreshold:
+		// Table 1(a) eq (1): o + size×G + L + o; eager, sender buffers.
+		s.resumeAt(r, ts+p.O)
+		inject := ts + p.O
+		s.eng.At(inject, func() {
+			wait := s.topo.AcquireBus(r.id, inject, bytes)
+			arrive := inject + wait + float64(bytes)*p.G + p.L
+			s.eng.At(arrive, func() {
+				w2 := s.topo.AcquireBus(peer, arrive, bytes)
+				ready := arrive + w2
+				s.deliver(msg, ready)
+			})
+		})
+
+	default:
+		// Table 1(a) eq (2): rendezvous. The sender stays blocked until the
+		// clear-to-send arrives and the data is injected.
+		msg.rendezvous = true
+		rtsAt := ts + p.O + p.L
+		s.eng.At(rtsAt, func() {
+			msg.rtsArrived = true
+			s.maybeHandshake(msg)
+		})
+	}
+}
+
+// maybeHandshake fires the rendezvous clear-to-send once both the RTS has
+// arrived at the receiver and a matching receive has been posted. It is
+// called at the virtual time of the later of those two events.
+func (s *Sim) maybeHandshake(msg *message) {
+	if msg.ctsIssued || !msg.rtsArrived || msg.recv == nil {
+		return
+	}
+	msg.ctsIssued = true
+	p := s.topo.Params
+	sender := &s.ranks[msg.src]
+	receiver := msg.recv.rank
+	th := s.eng.Now() // max(recv post, RTS arrival)
+	ctsAt := th + p.H + p.L
+	s.eng.At(ctsAt, func() {
+		inject := ctsAt + p.H + p.O
+		s.eng.At(inject, func() {
+			wait := s.topo.AcquireBus(sender.id, inject, msg.bytes)
+			s.resumeAt(sender, inject+wait)
+			arrive := inject + wait + float64(msg.bytes)*p.G + p.L
+			s.eng.At(arrive, func() {
+				w2 := s.topo.AcquireBus(receiver.id, arrive, msg.bytes)
+				ready := arrive + w2
+				msg.ready = true
+				msg.readyAt = ready
+				s.resumeAt(receiver, ready+p.O)
+				s.unlink(msg)
+			})
+		})
+	})
+}
+
+// deliver marks an eager or on-chip message's data available at the
+// receiver and completes a matched waiting receive.
+func (s *Sim) deliver(msg *message, ready float64) {
+	msg.ready = true
+	msg.readyAt = ready
+	if msg.recv != nil {
+		s.completeRecv(msg)
+	}
+}
+
+// completeRecv finishes a matched, ready, non-rendezvous receive.
+func (s *Sim) completeRecv(msg *message) {
+	req := msg.recv
+	start := msg.readyAt
+	if req.postAt > start {
+		start = req.postAt
+	}
+	s.resumeAt(req.rank, start+s.recvOverhead(msg))
+	s.unlink(msg)
+}
+
+// recvOverhead returns the receiver-side trailing processing time: o for
+// off-node messages (Table 1(a) eqs (3), (4b)), ocopy for on-chip messages
+// (Table 1(b) eqs (7), (8b)).
+func (s *Sim) recvOverhead(msg *message) float64 {
+	if s.topo.Path(int(msg.src), int(msg.dst)) == logp.OnChip {
+		return s.topo.Params.Ocopy
+	}
+	return s.topo.Params.O
+}
+
+// unlink removes a completed message from its channel queue.
+func (s *Sim) unlink(msg *message) {
+	ch := s.channel(msg.src, msg.dst)
+	for i, m := range ch.msgs {
+		if m == msg {
+			ch.msgs = append(ch.msgs[:i], ch.msgs[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *Sim) execRecv(r *rankState, peer int) {
+	if peer == r.id || peer < 0 || peer >= len(s.ranks) {
+		panic(fmt.Sprintf("simmpi: rank %d receives from invalid peer %d", r.id, peer))
+	}
+	s.recvs++
+	ch := s.channel(int32(peer), int32(r.id))
+	req := &recvReq{rank: r, postAt: r.t}
+	// Match the first message not already claimed by an earlier receive
+	// (MPI non-overtaking ordering between a pair of ranks).
+	var msg *message
+	for _, m := range ch.msgs {
+		if m.recv == nil {
+			msg = m
+			break
+		}
+	}
+	if msg == nil {
+		ch.recvs = append(ch.recvs, req)
+		return
+	}
+	msg.recv = req
+	req.msg = msg
+	switch {
+	case msg.rendezvous:
+		s.maybeHandshake(msg)
+	case msg.ready:
+		s.completeRecv(msg)
+	}
+	// Otherwise the message is still in flight; deliver() completes it.
+}
+
+func (s *Sim) execAllReduce(r *rankState, bytes int) {
+	gen := s.ar[r.arGen]
+	if gen == nil {
+		gen = &arGen{bytes: bytes, times: make([]float64, len(s.ranks))}
+		s.ar[r.arGen] = gen
+	}
+	if gen.bytes != bytes {
+		panic(fmt.Sprintf("simmpi: mismatched all-reduce sizes %d vs %d", gen.bytes, bytes))
+	}
+	gen.times[r.id] = r.t
+	gen.entered++
+	key := r.arGen
+	r.arGen++
+	if gen.entered < len(s.ranks) {
+		return
+	}
+	delete(s.ar, key)
+	done := s.allReduceTimes(gen.times, bytes)
+	for i := range s.ranks {
+		s.resumeAt(&s.ranks[i], done[i])
+	}
+}
+
+// allReduceTimes computes per-rank completion times of a recursive-doubling
+// all-reduce with a pre/post fold for non-power-of-two rank counts, charging
+// each exchange the LogGP TotalComm of its path. Within each round, the
+// off-node exchanges of cores sharing a node serialise through the node's
+// single NIC — the behaviour the paper's closed form (equation (9)) models
+// with its ×C factor. The emergent time is compared against equation (9)
+// in the experiments.
+func (s *Sim) allReduceTimes(entry []float64, bytes int) []float64 {
+	p := s.topo.Params
+	n := len(entry)
+	t := make([]float64, n)
+	copy(t, entry)
+	cost := func(a, b int) float64 { return p.TotalComm(s.topo.Path(a, b), bytes) }
+	// serial returns the per-node NIC serialisation factor applied to an
+	// off-node exchange in a round where every core participates: the k-th
+	// core of a node starts its exchange after its node-mates finish.
+	nicDelay := func(r, peer int) float64 {
+		if s.topo.SameNode(r, peer) {
+			return 0
+		}
+		// Count lower-indexed ranks on the same node exchanging off-node
+		// this round; they occupy the NIC first.
+		var before float64
+		for q := r - 1; q >= 0; q-- {
+			if !s.topo.SameNode(q, r) {
+				break
+			}
+			before++
+		}
+		return before * cost(r, peer)
+	}
+
+	p2 := 1
+	for p2*2 <= n {
+		p2 *= 2
+	}
+	// Fold extra ranks into the power-of-two core.
+	for r := p2; r < n; r++ {
+		peer := r - p2
+		c := max(t[r], t[peer]) + cost(r, peer)
+		t[peer] = c
+	}
+	// Recursive doubling among the core.
+	next := make([]float64, n)
+	for d := 1; d < p2; d <<= 1 {
+		copy(next, t)
+		for r := 0; r < p2; r++ {
+			peer := r ^ d
+			next[r] = max(t[r], t[peer]) + cost(r, peer) + nicDelay(r, peer)
+		}
+		t, next = next, t
+	}
+	// Broadcast the result back to the folded ranks.
+	for r := p2; r < n; r++ {
+		peer := r - p2
+		t[r] = t[peer] + cost(peer, r)
+	}
+	return t
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,155 @@
+// Package simnet models the hardware substrate of a multi-core parallel
+// machine for the discrete-event MPI simulator: the placement of logical
+// ranks onto nodes and cores, the per-node (or per-core-group) shared
+// memory bus, and the raw LogGP-timed message segments.
+//
+// The design follows paper Sections 3 and 4.3: an uncontended message
+// follows the LogGP equations of Table 1 exactly, while every off-node DMA
+// and every on-chip large-message DMA must pass through the owning node's
+// shared bus, which is a FCFS resource. Contention therefore appears as
+// emergent queueing delay rather than the model's closed-form I terms,
+// letting experiments quantify the abstraction error of Table 6.
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/grid"
+	"repro/internal/logp"
+	"repro/internal/machine"
+)
+
+// Placement maps a logical rank to its node and to the bus group within
+// that node.
+type Placement func(rank int) (node, busGroup int)
+
+// GridPlacement places the ranks of a 2-D wavefront decomposition onto a
+// machine so that each node's cores form a Cx × Cy rectangle of the
+// logical processor grid (paper Section 4.3). Bus groups within a node
+// split the rectangle row-wise.
+func GridPlacement(dec grid.Decomposition, m machine.Machine) Placement {
+	nodesX := ceilDiv(dec.N, m.Cx)
+	coresPerBus := m.CoresPerBus()
+	return func(rank int) (node, busGroup int) {
+		c := dec.CoordOf(rank)
+		nodeX := (c.I - 1) / m.Cx
+		nodeY := (c.J - 1) / m.Cy
+		node = nodeY*nodesX + nodeX
+		ci := (c.I - 1) % m.Cx
+		cj := (c.J - 1) % m.Cy
+		coreIdx := cj*m.Cx + ci
+		busGroup = coreIdx / coresPerBus
+		return node, busGroup
+	}
+}
+
+// LinearPlacement packs ranks onto nodes in linear order: ranks
+// [k·C, (k+1)·C) share node k. It is used by microbenchmarks such as
+// ping-pong where no 2-D structure exists.
+func LinearPlacement(m machine.Machine) Placement {
+	coresPerBus := m.CoresPerBus()
+	return func(rank int) (node, busGroup int) {
+		node = rank / m.CoresPerNode
+		core := rank % m.CoresPerNode
+		return node, core / coresPerBus
+	}
+}
+
+// SpreadPlacement places every rank on its own node (one core per node,
+// Section 4.2's model baseline).
+func SpreadPlacement() Placement {
+	return func(rank int) (node, busGroup int) { return rank, 0 }
+}
+
+// Topology is the instantiated hardware substrate for a fixed rank count.
+type Topology struct {
+	Params logp.Params
+	ranks  int
+	nodeOf []int32
+	busOf  []int32 // global bus index
+	buses  []des.Resource
+}
+
+// NewTopology resolves a placement for the given number of ranks.
+func NewTopology(p logp.Params, ranks int, place Placement) *Topology {
+	if ranks <= 0 {
+		panic(fmt.Sprintf("simnet: invalid rank count %d", ranks))
+	}
+	t := &Topology{
+		Params: p,
+		ranks:  ranks,
+		nodeOf: make([]int32, ranks),
+		busOf:  make([]int32, ranks),
+	}
+	busIndex := map[[2]int]int32{}
+	for r := 0; r < ranks; r++ {
+		node, bus := place(r)
+		key := [2]int{node, bus}
+		id, ok := busIndex[key]
+		if !ok {
+			id = int32(len(busIndex))
+			busIndex[key] = id
+		}
+		t.nodeOf[r] = int32(node)
+		t.busOf[r] = id
+	}
+	t.buses = make([]des.Resource, len(busIndex))
+	return t
+}
+
+// Ranks returns the number of ranks in the topology.
+func (t *Topology) Ranks() int { return t.ranks }
+
+// NodeOf returns the node hosting rank r.
+func (t *Topology) NodeOf(r int) int { return int(t.nodeOf[r]) }
+
+// SameNode reports whether ranks a and b are cores of the same node, in
+// which case the on-chip communication model of Table 1(b) applies.
+func (t *Topology) SameNode(a, b int) bool { return t.nodeOf[a] == t.nodeOf[b] }
+
+// Path returns the communication path between two ranks.
+func (t *Topology) Path(a, b int) logp.Path {
+	if t.SameNode(a, b) {
+		return logp.OnChip
+	}
+	return logp.OffNode
+}
+
+// BusOccupancy returns the bus holding time of one DMA of the given message
+// size: odma + size × Gdma, the paper's per-interference cost I (Table 6).
+func (t *Topology) BusOccupancy(size int) float64 {
+	return t.Params.Odma() + float64(size)*t.Params.Gdma
+}
+
+// AcquireBus reserves rank r's shared bus at virtual time now for one DMA
+// of the given size and returns the queueing delay experienced. Uncontended
+// acquisitions return zero: the nominal DMA cost is already inside the
+// LogGP per-message equations, so only excess waiting is added to message
+// timelines.
+func (t *Topology) AcquireBus(r int, now float64, size int) (wait float64) {
+	return t.buses[t.busOf[r]].Acquire(now, t.BusOccupancy(size))
+}
+
+// BusStats aggregates contention counters over all buses.
+func (t *Topology) BusStats() (requests, queued uint64, busy, waited float64) {
+	for i := range t.buses {
+		rq, q, b, w := t.buses[i].Stats()
+		requests += rq
+		queued += q
+		busy += b
+		waited += w
+	}
+	return requests, queued, busy, waited
+}
+
+// Nodes returns the number of distinct nodes in use.
+func (t *Topology) Nodes() int {
+	seen := map[int32]struct{}{}
+	for _, n := range t.nodeOf {
+		seen[n] = struct{}{}
+	}
+	return len(seen)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

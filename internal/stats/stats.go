@@ -1,0 +1,129 @@
+// Package stats provides the small statistical utilities used by the
+// parameter-fitting and validation machinery: least-squares linear fits,
+// relative-error summaries and simple aggregates.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearFit returns the least-squares line y = a + b·x through the points.
+// It panics if fewer than two points are given or all x are identical.
+func LinearFit(xs, ys []float64) (a, b float64) {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: mismatched lengths %d vs %d", len(xs), len(ys)))
+	}
+	if len(xs) < 2 {
+		panic("stats: need at least two points for a linear fit")
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		panic("stats: degenerate x values in linear fit")
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	return a, b
+}
+
+// RelErr returns |predicted − actual| / |actual|; it returns the absolute
+// error if actual is zero.
+func RelErr(predicted, actual float64) float64 {
+	if actual == 0 {
+		return math.Abs(predicted)
+	}
+	return math.Abs(predicted-actual) / math.Abs(actual)
+}
+
+// SignedRelErr returns (predicted − actual)/actual, positive when the
+// prediction is high.
+func SignedRelErr(predicted, actual float64) float64 {
+	if actual == 0 {
+		return predicted
+	}
+	return (predicted - actual) / actual
+}
+
+// Mean returns the arithmetic mean; zero for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum; negative infinity for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum; positive infinity for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ErrorSummary aggregates relative errors between prediction/measurement
+// pairs.
+type ErrorSummary struct {
+	N         int
+	MeanAbs   float64 // mean |relative error|
+	MaxAbs    float64 // max |relative error|
+	MeanSgn   float64 // mean signed relative error (bias)
+	WorstPred float64 // prediction at the worst point
+	WorstAct  float64 // measurement at the worst point
+}
+
+// Summarize computes an ErrorSummary over paired predictions and
+// measurements.
+func Summarize(predicted, actual []float64) ErrorSummary {
+	if len(predicted) != len(actual) {
+		panic(fmt.Sprintf("stats: mismatched lengths %d vs %d", len(predicted), len(actual)))
+	}
+	var s ErrorSummary
+	s.N = len(predicted)
+	for i := range predicted {
+		re := RelErr(predicted[i], actual[i])
+		s.MeanAbs += re
+		s.MeanSgn += SignedRelErr(predicted[i], actual[i])
+		if re > s.MaxAbs {
+			s.MaxAbs = re
+			s.WorstPred = predicted[i]
+			s.WorstAct = actual[i]
+		}
+	}
+	if s.N > 0 {
+		s.MeanAbs /= float64(s.N)
+		s.MeanSgn /= float64(s.N)
+	}
+	return s
+}
+
+// String implements fmt.Stringer.
+func (s ErrorSummary) String() string {
+	return fmt.Sprintf("n=%d mean|err|=%.2f%% max|err|=%.2f%% bias=%+.2f%%",
+		s.N, s.MeanAbs*100, s.MaxAbs*100, s.MeanSgn*100)
+}

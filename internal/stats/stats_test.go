@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2.5 + 0.75*x
+	}
+	a, b := LinearFit(xs, ys)
+	if math.Abs(a-2.5) > 1e-12 || math.Abs(b-0.75) > 1e-12 {
+		t.Errorf("fit = %v + %v·x", a, b)
+	}
+}
+
+func TestLinearFitRecoversRandomLines(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(r.Float64()*20 - 10)
+			vals[1] = reflect.ValueOf(r.Float64()*20 - 10)
+			vals[2] = reflect.ValueOf(r.Intn(20) + 2)
+		},
+	}
+	prop := func(a, b float64, n int) bool {
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i + 1)
+			ys[i] = a + b*xs[i]
+		}
+		ga, gb := LinearFit(xs, ys)
+		return math.Abs(ga-a) < 1e-6 && math.Abs(gb-b) < 1e-6
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	for _, tc := range []struct{ xs, ys []float64 }{
+		{[]float64{1}, []float64{1}},
+		{[]float64{1, 2}, []float64{1}},
+		{[]float64{3, 3}, []float64{1, 2}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %v", tc.xs)
+				}
+			}()
+			LinearFit(tc.xs, tc.ys)
+		}()
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelErr = %v", got)
+	}
+	if got := RelErr(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelErr = %v", got)
+	}
+	if got := RelErr(5, 0); got != 5 {
+		t.Errorf("RelErr with zero actual = %v", got)
+	}
+	if got := SignedRelErr(90, 100); math.Abs(got+0.1) > 1e-12 {
+		t.Errorf("SignedRelErr = %v", got)
+	}
+	if got := SignedRelErr(3, 0); got != 3 {
+		t.Errorf("SignedRelErr with zero actual = %v", got)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Max(xs) != 3 || Min(xs) != 1 {
+		t.Errorf("Max/Min = %v/%v", Max(xs), Min(xs))
+	}
+	if !math.IsInf(Max(nil), -1) || !math.IsInf(Min(nil), 1) {
+		t.Error("empty Max/Min should be ∓Inf")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	pred := []float64{110, 95}
+	act := []float64{100, 100}
+	s := Summarize(pred, act)
+	if s.N != 2 {
+		t.Errorf("N = %d", s.N)
+	}
+	if math.Abs(s.MeanAbs-0.075) > 1e-12 {
+		t.Errorf("MeanAbs = %v", s.MeanAbs)
+	}
+	if math.Abs(s.MaxAbs-0.1) > 1e-12 || s.WorstPred != 110 || s.WorstAct != 100 {
+		t.Errorf("worst = %v %v %v", s.MaxAbs, s.WorstPred, s.WorstAct)
+	}
+	if math.Abs(s.MeanSgn-0.025) > 1e-12 {
+		t.Errorf("bias = %v", s.MeanSgn)
+	}
+	if !strings.Contains(s.String(), "max|err|") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSummarizePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Summarize([]float64{1}, []float64{1, 2})
+}

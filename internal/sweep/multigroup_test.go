@@ -1,0 +1,103 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestPipelinedScheduleSolvesSameFluxes(t *testing.T) {
+	g := grid.NewGrid(16, 14, 10)
+	mp := NewMultiGroupProblem(g, 3, 4)
+	octs := Octants([]grid.Corner{grid.SE, grid.SE, grid.NE, grid.NE, grid.SW, grid.SW, grid.NW, grid.NW})
+	ref := mp.SolveSequentialGroups(octs)
+
+	dec := grid.MustDecompose(g, 4, 2)
+	for _, tc := range []struct {
+		name     string
+		schedule []GroupSweep
+	}{
+		{"sequential", SequentialGroupSchedule(octs, 4)},
+		{"pipelined", PipelinedGroupSchedule(octs, 4)},
+	} {
+		got, err := mp.SolveSchedule(dec, 2, tc.schedule)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for gi := range ref {
+			if d := maxAbsDiff(ref[gi], got[gi]); d != 0 {
+				t.Errorf("%s: group %d max diff %g", tc.name, gi, d)
+			}
+		}
+	}
+}
+
+func TestScheduleShapes(t *testing.T) {
+	octs := Octants([]grid.Corner{grid.SE, grid.SE, grid.NE, grid.NE})
+	seq := SequentialGroupSchedule(octs, 3)
+	pip := PipelinedGroupSchedule(octs, 3)
+	if len(seq) != 12 || len(pip) != 12 {
+		t.Fatalf("lengths %d/%d", len(seq), len(pip))
+	}
+	// Sequential: group changes only after all octants.
+	if seq[0].Group != 0 || seq[3].Group != 0 || seq[4].Group != 1 {
+		t.Errorf("sequential schedule = %+v", seq[:5])
+	}
+	// Pipelined: the SE pair runs for all groups before NE appears.
+	for i := 0; i < 6; i++ {
+		if pip[i].Octant.Corner != grid.SE {
+			t.Errorf("pipelined[%d] = %+v, want SE run first", i, pip[i])
+		}
+	}
+	if pip[0].Group != 0 || pip[2].Group != 1 {
+		t.Errorf("pipelined group order: %+v", pip[:4])
+	}
+	// Every (octant-index, group) pair appears exactly once in both.
+	count := func(s []GroupSweep) map[GroupSweep]int {
+		m := map[GroupSweep]int{}
+		for _, gs := range s {
+			m[gs]++
+		}
+		return m
+	}
+	for k, v := range count(seq) {
+		if v != 1 {
+			t.Errorf("sequential duplicates %+v", k)
+		}
+	}
+	for k, v := range count(pip) {
+		if v != 1 {
+			t.Errorf("pipelined duplicates %+v", k)
+		}
+	}
+}
+
+func TestSolveScheduleErrors(t *testing.T) {
+	g := grid.Cube(8)
+	mp := NewMultiGroupProblem(g, 2, 2)
+	octs := Octants([]grid.Corner{grid.NW})
+	if _, err := mp.SolveSchedule(grid.MustDecompose(grid.Cube(4), 2, 2), 1,
+		SequentialGroupSchedule(octs, 2)); err == nil {
+		t.Error("mismatched grid accepted")
+	}
+	if _, err := mp.SolveSchedule(grid.MustDecompose(g, 2, 2), 0,
+		SequentialGroupSchedule(octs, 2)); err == nil {
+		t.Error("zero tile height accepted")
+	}
+	if _, err := mp.SolveSchedule(grid.MustDecompose(g, 2, 2), 1,
+		[]GroupSweep{{Octant: octs[0], Group: 7}}); err == nil {
+		t.Error("out-of-range group accepted")
+	}
+}
+
+func TestGroupsDifferFromEachOther(t *testing.T) {
+	// Distinct sources/sigmas per group must produce distinct fluxes,
+	// otherwise the multi-group test is vacuous.
+	g := grid.Cube(8)
+	mp := NewMultiGroupProblem(g, 2, 3)
+	octs := Octants([]grid.Corner{grid.NW, grid.SE})
+	fluxes := mp.SolveSequentialGroups(octs)
+	if maxAbsDiff(fluxes[0], fluxes[1]) == 0 || maxAbsDiff(fluxes[1], fluxes[2]) == 0 {
+		t.Error("groups produced identical fluxes")
+	}
+}

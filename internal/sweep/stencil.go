@@ -1,0 +1,177 @@
+// Four-point stencil kernel: LU applies a stencil computation between its
+// two sweeps in each iteration (Tnonwavefront in the plug-and-play model,
+// paper Table 3); it is also a minimal example of a non-wavefront halo
+// exchange for the examples and tests.
+package sweep
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/grid"
+)
+
+// StencilProblem is a four-point (x-y plane) Jacobi stencil over a 3-D
+// field: out[c] = w0·in[c] + wn·(in[W] + in[E] + in[N] + in[S]), with
+// missing neighbours treated as zero.
+type StencilProblem struct {
+	Grid   grid.Grid
+	W0, Wn float64
+	In     []float64
+}
+
+// NewStencilProblem builds a stencil problem over a deterministic field.
+func NewStencilProblem(g grid.Grid) *StencilProblem {
+	p := &StencilProblem{Grid: g, W0: 0.6, Wn: 0.1, In: make([]float64, g.Cells())}
+	for c := range p.In {
+		p.In[c] = float64(c%97) * 0.013
+	}
+	return p
+}
+
+func (p *StencilProblem) idx(i, j, k int) int {
+	return (k*p.Grid.Ny+j)*p.Grid.Nx + i
+}
+
+// ApplySequential computes the stencil over the whole grid.
+func (p *StencilProblem) ApplySequential() []float64 {
+	g := p.Grid
+	out := make([]float64, g.Cells())
+	for k := 0; k < g.Nz; k++ {
+		for j := 0; j < g.Ny; j++ {
+			for i := 0; i < g.Nx; i++ {
+				s := p.W0 * p.In[p.idx(i, j, k)]
+				if i > 0 {
+					s += p.Wn * p.In[p.idx(i-1, j, k)]
+				}
+				if i < g.Nx-1 {
+					s += p.Wn * p.In[p.idx(i+1, j, k)]
+				}
+				if j > 0 {
+					s += p.Wn * p.In[p.idx(i, j-1, k)]
+				}
+				if j < g.Ny-1 {
+					s += p.Wn * p.In[p.idx(i, j+1, k)]
+				}
+				out[p.idx(i, j, k)] = s
+			}
+		}
+	}
+	return out
+}
+
+// ApplyParallel computes the stencil with an m × n worker grid and halo
+// exchange over channels. Unlike the wavefront kernels there is no
+// pipeline: every worker exchanges halos with all neighbours, then
+// computes. The result equals ApplySequential exactly.
+func (p *StencilProblem) ApplyParallel(dec grid.Decomposition) ([]float64, error) {
+	if dec.Grid != p.Grid {
+		return nil, fmt.Errorf("sweep: decomposition grid %v does not match problem grid %v", dec.Grid, p.Grid)
+	}
+	g := p.Grid
+	blks := blocks(dec)
+	type edgeKey struct{ from, to int }
+	chans := make(map[edgeKey]chan []float64)
+	for r := 0; r < dec.P(); r++ {
+		c := dec.CoordOf(r)
+		for _, nb := range []grid.Coord{
+			{I: c.I + 1, J: c.J}, {I: c.I - 1, J: c.J},
+			{I: c.I, J: c.J + 1}, {I: c.I, J: c.J - 1},
+		} {
+			if dec.Contains(nb) {
+				chans[edgeKey{r, dec.Rank(nb)}] = make(chan []float64, 1)
+			}
+		}
+	}
+	out := make([]float64, g.Cells())
+	var wg sync.WaitGroup
+
+	worker := func(rank int) {
+		defer wg.Done()
+		b := blks[rank]
+		c := dec.CoordOf(rank)
+		nxL, nyL := b.nx(), b.ny()
+
+		// Gather the four halo faces: [k][j] for x faces, [k][i] for y.
+		face := func(iFixed int) []float64 {
+			f := make([]float64, g.Nz*nyL)
+			for k := 0; k < g.Nz; k++ {
+				for j := b.y0; j < b.y1; j++ {
+					f[k*nyL+(j-b.y0)] = p.In[p.idx(iFixed, j, k)]
+				}
+			}
+			return f
+		}
+		faceY := func(jFixed int) []float64 {
+			f := make([]float64, g.Nz*nxL)
+			for k := 0; k < g.Nz; k++ {
+				for i := b.x0; i < b.x1; i++ {
+					f[k*nxL+(i-b.x0)] = p.In[p.idx(i, jFixed, k)]
+				}
+			}
+			return f
+		}
+		type nbInfo struct {
+			coord grid.Coord
+			send  []float64
+		}
+		nbs := []nbInfo{
+			{grid.Coord{I: c.I - 1, J: c.J}, face(b.x0)},
+			{grid.Coord{I: c.I + 1, J: c.J}, face(b.x1 - 1)},
+			{grid.Coord{I: c.I, J: c.J - 1}, faceY(b.y0)},
+			{grid.Coord{I: c.I, J: c.J + 1}, faceY(b.y1 - 1)},
+		}
+		for _, nb := range nbs {
+			if dec.Contains(nb.coord) {
+				chans[edgeKey{rank, dec.Rank(nb.coord)}] <- nb.send
+			}
+		}
+		halo := make([][]float64, 4)
+		for x, nb := range nbs {
+			if dec.Contains(nb.coord) {
+				halo[x] = <-chans[edgeKey{dec.Rank(nb.coord), rank}]
+			}
+		}
+		haloW, haloE, haloN, haloS := halo[0], halo[1], halo[2], halo[3]
+
+		for k := 0; k < g.Nz; k++ {
+			for j := b.y0; j < b.y1; j++ {
+				for i := b.x0; i < b.x1; i++ {
+					s := p.W0 * p.In[p.idx(i, j, k)]
+					switch {
+					case i > b.x0:
+						s += p.Wn * p.In[p.idx(i-1, j, k)]
+					case haloW != nil:
+						s += p.Wn * haloW[k*nyL+(j-b.y0)]
+					}
+					switch {
+					case i < b.x1-1:
+						s += p.Wn * p.In[p.idx(i+1, j, k)]
+					case haloE != nil:
+						s += p.Wn * haloE[k*nyL+(j-b.y0)]
+					}
+					switch {
+					case j > b.y0:
+						s += p.Wn * p.In[p.idx(i, j-1, k)]
+					case haloN != nil:
+						s += p.Wn * haloN[k*nxL+(i-b.x0)]
+					}
+					switch {
+					case j < b.y1-1:
+						s += p.Wn * p.In[p.idx(i, j+1, k)]
+					case haloS != nil:
+						s += p.Wn * haloS[k*nxL+(i-b.x0)]
+					}
+					out[p.idx(i, j, k)] = s
+				}
+			}
+		}
+	}
+
+	for r := 0; r < dec.P(); r++ {
+		wg.Add(1)
+		go worker(r)
+	}
+	wg.Wait()
+	return out, nil
+}

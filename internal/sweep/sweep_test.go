@@ -1,0 +1,246 @@
+package sweep
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+var benchmarkCorners = map[string][]grid.Corner{
+	"LU":       {grid.NW, grid.SE},
+	"Sweep3D":  {grid.SE, grid.SE, grid.NE, grid.NE, grid.SW, grid.SW, grid.NW, grid.NW},
+	"Chimaera": {grid.SE, grid.SE, grid.NE, grid.SW, grid.NE, grid.SW, grid.NW, grid.NW},
+}
+
+func TestTransportParallelMatchesSequential(t *testing.T) {
+	g := grid.NewGrid(20, 18, 12)
+	p := NewTransportProblem(g, 6)
+	for name, corners := range benchmarkCorners {
+		octs := Octants(corners)
+		ref := p.SolveSequential(octs)
+		for _, shape := range [][2]int{{1, 1}, {4, 3}, {2, 5}, {5, 6}} {
+			dec := grid.MustDecompose(g, shape[0], shape[1])
+			for _, h := range []int{1, 2, 3, 5, 12} {
+				got, err := p.SolveParallel(dec, h, octs)
+				if err != nil {
+					t.Fatalf("%s %v h=%d: %v", name, shape, h, err)
+				}
+				if d := maxAbsDiff(ref, got); d != 0 {
+					t.Errorf("%s %v h=%d: max diff %g, want exact", name, shape, h, d)
+				}
+			}
+		}
+	}
+}
+
+func TestTransportRandomizedProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 25,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(r.Intn(12) + 2) // nx
+			vals[1] = reflect.ValueOf(r.Intn(12) + 2) // ny
+			vals[2] = reflect.ValueOf(r.Intn(10) + 1) // nz
+			vals[3] = reflect.ValueOf(r.Intn(4) + 1)  // n
+			vals[4] = reflect.ValueOf(r.Intn(4) + 1)  // m
+			vals[5] = reflect.ValueOf(r.Intn(4) + 1)  // htile
+			vals[6] = reflect.ValueOf(r.Intn(3) + 1)  // angles
+		},
+	}
+	prop := func(nx, ny, nz, n, m, htile, angles int) bool {
+		g := grid.NewGrid(nx, ny, nz)
+		if n > nx || m > ny {
+			return true // skip degenerate shapes with empty blocks
+		}
+		p := NewTransportProblem(g, angles)
+		octs := Octants([]grid.Corner{grid.NW, grid.SE, grid.NE, grid.SW})
+		ref := p.SolveSequential(octs)
+		got, err := p.SolveParallel(grid.MustDecompose(g, n, m), htile, octs)
+		if err != nil {
+			return false
+		}
+		return maxAbsDiff(ref, got) == 0
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransportFluxIsPositiveAndBounded(t *testing.T) {
+	g := grid.NewGrid(12, 12, 12)
+	p := NewTransportProblem(g, 4)
+	flux := p.SolveSequential(Octants(benchmarkCorners["Sweep3D"]))
+	for c, v := range flux {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("flux[%d] = %v", c, v)
+		}
+	}
+	// With sigma ≥ 1 and bounded source, psi per sweep is bounded by
+	// max(source)·(1+a)/sigma-ish; just assert a generous cap.
+	for c, v := range flux {
+		if v > 1e6 {
+			t.Fatalf("flux[%d] = %v implausibly large", c, v)
+		}
+	}
+}
+
+func TestTransportErrors(t *testing.T) {
+	g := grid.NewGrid(8, 8, 8)
+	p := NewTransportProblem(g, 2)
+	octs := Octants(benchmarkCorners["LU"])
+	if _, err := p.SolveParallel(grid.MustDecompose(grid.Cube(4), 2, 2), 1, octs); err == nil {
+		t.Error("mismatched grid accepted")
+	}
+	if _, err := p.SolveParallel(grid.MustDecompose(g, 2, 2), 0, octs); err == nil {
+		t.Error("zero tile height accepted")
+	}
+}
+
+func TestOctantsAlternateZ(t *testing.T) {
+	octs := Octants([]grid.Corner{grid.SE, grid.SE, grid.NE, grid.NE})
+	if !octs[0].ZUp || octs[1].ZUp || !octs[2].ZUp || octs[3].ZUp {
+		t.Errorf("octants = %+v", octs)
+	}
+}
+
+func TestSSORParallelMatchesSequential(t *testing.T) {
+	g := grid.NewGrid(17, 13, 9)
+	p := NewSSORProblem(g)
+	ref := p.SolveSequential()
+	for _, shape := range [][2]int{{1, 1}, {2, 2}, {4, 3}, {3, 5}} {
+		got, err := p.SolveParallel(grid.MustDecompose(g, shape[0], shape[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(ref, got); d != 0 {
+			t.Errorf("shape %v: max diff %g", shape, d)
+		}
+	}
+}
+
+func TestSSORGridMismatch(t *testing.T) {
+	p := NewSSORProblem(grid.Cube(8))
+	if _, err := p.SolveParallel(grid.MustDecompose(grid.Cube(4), 2, 2)); err == nil {
+		t.Error("mismatched grid accepted")
+	}
+}
+
+func TestSSORValuesFinite(t *testing.T) {
+	p := NewSSORProblem(grid.Cube(10))
+	v := p.SolveSequential()
+	for c, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("v[%d] = %v", c, x)
+		}
+	}
+}
+
+func TestStencilParallelMatchesSequential(t *testing.T) {
+	g := grid.NewGrid(14, 11, 5)
+	p := NewStencilProblem(g)
+	ref := p.ApplySequential()
+	for _, shape := range [][2]int{{1, 1}, {2, 2}, {7, 1}, {2, 5}} {
+		got, err := p.ApplyParallel(grid.MustDecompose(g, shape[0], shape[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(ref, got); d != 0 {
+			t.Errorf("shape %v: max diff %g", shape, d)
+		}
+	}
+	if _, err := p.ApplyParallel(grid.MustDecompose(grid.Cube(4), 2, 2)); err == nil {
+		t.Error("mismatched grid accepted")
+	}
+}
+
+func TestStencilRandomizedProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 25,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(r.Intn(10) + 2)
+			vals[1] = reflect.ValueOf(r.Intn(10) + 2)
+			vals[2] = reflect.ValueOf(r.Intn(5) + 1)
+			vals[3] = reflect.ValueOf(r.Intn(3) + 1)
+			vals[4] = reflect.ValueOf(r.Intn(3) + 1)
+		},
+	}
+	prop := func(nx, ny, nz, n, m int) bool {
+		if n > nx || m > ny {
+			return true
+		}
+		g := grid.NewGrid(nx, ny, nz)
+		p := NewStencilProblem(g)
+		ref := p.ApplySequential()
+		got, err := p.ApplyParallel(grid.MustDecompose(g, n, m))
+		return err == nil && maxAbsDiff(ref, got) == 0
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalibrationsArePositive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based calibration")
+	}
+	if wg := CalibrateTransportWg(2, 1); wg <= 0 {
+		t.Errorf("transport Wg = %v", wg)
+	}
+	wg, wgPre := CalibrateSSORWg(1)
+	if wg <= 0 || wgPre <= 0 {
+		t.Errorf("ssor calibration = %v, %v", wg, wgPre)
+	}
+	if wg := CalibrateParallel(2); wg <= 0 {
+		t.Errorf("parallel Wg = %v", wg)
+	}
+}
+
+func TestBlocksPartitionExactly(t *testing.T) {
+	g := grid.NewGrid(23, 17, 4)
+	dec := grid.MustDecompose(g, 5, 3)
+	bs := blocks(dec)
+	covered := make([]int, g.Nx*g.Ny)
+	for _, b := range bs {
+		if b.nx() <= 0 || b.ny() <= 0 {
+			t.Fatalf("empty block %+v", b)
+		}
+		for j := b.y0; j < b.y1; j++ {
+			for i := b.x0; i < b.x1; i++ {
+				covered[j*g.Nx+i]++
+			}
+		}
+	}
+	for c, n := range covered {
+		if n != 1 {
+			t.Fatalf("cell %d covered %d times", c, n)
+		}
+	}
+}
+
+func TestDefaultAnglesWeightsSumToOne(t *testing.T) {
+	for _, n := range []int{1, 4, 6, 10} {
+		var sum float64
+		for _, a := range DefaultAngles(n) {
+			sum += a.Weight
+			if a.Ax <= 0 || a.Ay <= 0 || a.Az <= 0 {
+				t.Fatalf("non-positive coefficients: %+v", a)
+			}
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("weights sum = %v for n=%d", sum, n)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package trace records per-rank activity spans from the discrete-event
+// simulator and turns them into the bottleneck analyses of paper Section
+// 5.4: computation/communication/idle breakdowns per rank, aggregate
+// pipeline statistics, identification of the critical (busiest and most
+// comm-bound) ranks, and a plain-text Gantt rendering for inspection.
+//
+// The model predicts these breakdowns (Figure 11); the trace measures them
+// from the simulated execution, so model abstraction error is visible at
+// per-rank granularity.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/simmpi"
+)
+
+// Span is one recorded activity interval of a rank.
+type Span struct {
+	Rank       int
+	Op         simmpi.OpKind
+	Peer       int // -1 for compute and all-reduce
+	Bytes      int
+	Start, End float64
+}
+
+// Duration returns the span length in µs.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// Recorder implements simmpi.Tracer by accumulating spans.
+type Recorder struct {
+	spans []Span
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Span implements simmpi.Tracer.
+func (r *Recorder) Span(rank int, op simmpi.OpKind, peer, bytes int, start, end float64) {
+	r.spans = append(r.spans, Span{Rank: rank, Op: op, Peer: peer, Bytes: bytes, Start: start, End: end})
+}
+
+// Spans returns all recorded spans in recording order.
+func (r *Recorder) Spans() []Span { return r.spans }
+
+// Len returns the number of recorded spans.
+func (r *Recorder) Len() int { return len(r.spans) }
+
+// RankProfile is the activity breakdown of one rank over a run.
+type RankProfile struct {
+	Rank    int
+	Compute float64 // time in Compute spans
+	Send    float64 // time blocked in sends
+	Recv    float64 // time blocked in receives (includes pipeline waiting)
+	Coll    float64 // time in collectives
+	Finish  float64 // time of the rank's last span end
+}
+
+// Comm returns the total communication time (send + recv + collectives).
+func (p RankProfile) Comm() float64 { return p.Send + p.Recv + p.Coll }
+
+// Idle returns Finish − Compute − Comm: time not covered by any span
+// (zero in the current runtime, where ranks are always in exactly one
+// span until their program ends).
+func (p RankProfile) Idle() float64 { return p.Finish - p.Compute - p.Comm() }
+
+// CommShare returns the communication fraction of the rank's lifetime.
+func (p RankProfile) CommShare() float64 {
+	if p.Finish == 0 {
+		return 0
+	}
+	return p.Comm() / p.Finish
+}
+
+// Profile aggregates a recording into per-rank profiles, indexed by rank.
+func (r *Recorder) Profile(ranks int) []RankProfile {
+	out := make([]RankProfile, ranks)
+	for i := range out {
+		out[i].Rank = i
+	}
+	for _, s := range r.spans {
+		if s.Rank < 0 || s.Rank >= ranks {
+			continue
+		}
+		p := &out[s.Rank]
+		d := s.Duration()
+		switch s.Op {
+		case simmpi.OpCompute:
+			p.Compute += d
+		case simmpi.OpSend:
+			p.Send += d
+		case simmpi.OpRecv:
+			p.Recv += d
+		case simmpi.OpAllReduce:
+			p.Coll += d
+		}
+		if s.End > p.Finish {
+			p.Finish = s.End
+		}
+	}
+	return out
+}
+
+// Summary is the aggregate of all rank profiles.
+type Summary struct {
+	Ranks        int
+	TotalCompute float64
+	TotalComm    float64
+	MakeSpan     float64
+	// MeanCommShare is the average per-rank communication fraction.
+	MeanCommShare float64
+	// CriticalRank is the rank with the largest finish time; BoundRank is
+	// the rank with the largest communication share.
+	CriticalRank, BoundRank int
+}
+
+// Summarize aggregates per-rank profiles.
+func Summarize(profiles []RankProfile) Summary {
+	var s Summary
+	s.Ranks = len(profiles)
+	var shareSum float64
+	var maxShare float64 = -1
+	for _, p := range profiles {
+		s.TotalCompute += p.Compute
+		s.TotalComm += p.Comm()
+		if p.Finish > s.MakeSpan {
+			s.MakeSpan = p.Finish
+			s.CriticalRank = p.Rank
+		}
+		share := p.CommShare()
+		shareSum += share
+		if share > maxShare {
+			maxShare = share
+			s.BoundRank = p.Rank
+		}
+	}
+	if s.Ranks > 0 {
+		s.MeanCommShare = shareSum / float64(s.Ranks)
+	}
+	return s
+}
+
+// TopCommBound returns the k ranks with the highest communication share,
+// most-bound first.
+func TopCommBound(profiles []RankProfile, k int) []RankProfile {
+	sorted := make([]RankProfile, len(profiles))
+	copy(sorted, profiles)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].CommShare() > sorted[j].CommShare()
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}
+
+// Gantt renders a plain-text activity chart: one row per rank, buckets
+// labelled by the dominant activity in that time slice (c = compute,
+// s = send, r = recv, a = all-reduce, · = idle/none).
+func (r *Recorder) Gantt(w io.Writer, ranks, width int) {
+	if width <= 0 {
+		width = 80
+	}
+	var end float64
+	for _, s := range r.spans {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	if end == 0 {
+		fmt.Fprintln(w, "(no spans)")
+		return
+	}
+	bucket := end / float64(width)
+	// For each rank and bucket, pick the op covering the most time.
+	type cell [4]float64 // compute, send, recv, coll
+	cells := make([]cell, ranks*width)
+	for _, s := range r.spans {
+		if s.Rank < 0 || s.Rank >= ranks {
+			continue
+		}
+		b0 := int(s.Start / bucket)
+		b1 := int(s.End / bucket)
+		if b1 >= width {
+			b1 = width - 1
+		}
+		for b := b0; b <= b1; b++ {
+			lo := float64(b) * bucket
+			hi := lo + bucket
+			overlap := minF(hi, s.End) - maxF(lo, s.Start)
+			if overlap <= 0 {
+				continue
+			}
+			idx := opIndex(s.Op)
+			if idx >= 0 {
+				cells[s.Rank*width+b][idx] += overlap
+			}
+		}
+	}
+	glyphs := [4]byte{'c', 's', 'r', 'a'}
+	var sb strings.Builder
+	for rank := 0; rank < ranks; rank++ {
+		sb.Reset()
+		fmt.Fprintf(&sb, "%4d |", rank)
+		for b := 0; b < width; b++ {
+			c := cells[rank*width+b]
+			best, bestV := -1, 0.0
+			for i, v := range c {
+				if v > bestV {
+					best, bestV = i, v
+				}
+			}
+			if best < 0 {
+				sb.WriteByte('.')
+			} else {
+				sb.WriteByte(glyphs[best])
+			}
+		}
+		fmt.Fprintln(w, sb.String())
+	}
+	fmt.Fprintf(w, "      0%*s%.1fµs\n", width-6, "", end)
+}
+
+func opIndex(op simmpi.OpKind) int {
+	switch op {
+	case simmpi.OpCompute:
+		return 0
+	case simmpi.OpSend:
+		return 1
+	case simmpi.OpRecv:
+		return 2
+	case simmpi.OpAllReduce:
+		return 3
+	}
+	return -1
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

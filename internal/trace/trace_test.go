@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+	"repro/internal/simnet"
+)
+
+func TestRecorderCollectsSpans(t *testing.T) {
+	r := NewRecorder()
+	r.Span(0, simmpi.OpCompute, -1, 0, 0, 5)
+	r.Span(0, simmpi.OpSend, 1, 128, 5, 9)
+	r.Span(1, simmpi.OpRecv, 0, 128, 0, 9)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Spans()[1].Duration() != 4 {
+		t.Errorf("duration = %v", r.Spans()[1].Duration())
+	}
+	ps := r.Profile(2)
+	if ps[0].Compute != 5 || ps[0].Send != 4 || ps[0].Finish != 9 {
+		t.Errorf("profile[0] = %+v", ps[0])
+	}
+	if ps[1].Recv != 9 || ps[1].Comm() != 9 {
+		t.Errorf("profile[1] = %+v", ps[1])
+	}
+	if share := ps[1].CommShare(); share != 1 {
+		t.Errorf("comm share = %v", share)
+	}
+}
+
+func TestSummaryAndTopCommBound(t *testing.T) {
+	ps := []RankProfile{
+		{Rank: 0, Compute: 9, Send: 1, Finish: 10},
+		{Rank: 1, Compute: 2, Recv: 10, Finish: 12},
+		{Rank: 2, Compute: 5, Coll: 5, Finish: 10},
+	}
+	s := Summarize(ps)
+	if s.Ranks != 3 || s.MakeSpan != 12 || s.CriticalRank != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.BoundRank != 1 {
+		t.Errorf("bound rank = %d", s.BoundRank)
+	}
+	if math.Abs(s.TotalComm-16) > 1e-12 || math.Abs(s.TotalCompute-16) > 1e-12 {
+		t.Errorf("totals = %v/%v", s.TotalCompute, s.TotalComm)
+	}
+	top := TopCommBound(ps, 2)
+	if len(top) != 2 || top[0].Rank != 1 {
+		t.Errorf("top = %+v", top)
+	}
+	if got := TopCommBound(ps, 10); len(got) != 3 {
+		t.Errorf("over-sized k returned %d", len(got))
+	}
+}
+
+// runTraced runs a small Sweep3D iteration with a recorder attached.
+func runTraced(t *testing.T) (*Recorder, simmpi.Result, int) {
+	t.Helper()
+	g := grid.Cube(16)
+	bm := apps.Sweep3D(g, 2)
+	dec := grid.MustDecompose(g, 4, 4)
+	mach := machine.XT4()
+	sched, err := bm.Schedule(dec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := simnet.NewTopology(mach.Params, dec.P(), simnet.GridPlacement(dec, mach))
+	sim := simmpi.New(topo)
+	for r, p := range sched.Programs() {
+		sim.SetProgram(r, p)
+	}
+	rec := NewRecorder()
+	sim.SetTracer(rec)
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, res, dec.P()
+}
+
+func TestTracedSimulationConsistency(t *testing.T) {
+	rec, res, ranks := runTraced(t)
+	ps := rec.Profile(ranks)
+	for r := 0; r < ranks; r++ {
+		// Traced compute equals the simulator's own accounting.
+		if math.Abs(ps[r].Compute-res.ComputeTime[r]) > 1e-9 {
+			t.Errorf("rank %d: traced compute %v vs accounted %v",
+				r, ps[r].Compute, res.ComputeTime[r])
+		}
+		// Spans tile the rank's lifetime: compute + comm = finish.
+		if math.Abs(ps[r].Idle()) > 1e-6*(1+ps[r].Finish) {
+			t.Errorf("rank %d: idle gap %v", r, ps[r].Idle())
+		}
+		if math.Abs(ps[r].Finish-res.RankFinish[r]) > 1e-9 {
+			t.Errorf("rank %d: finish %v vs %v", r, ps[r].Finish, res.RankFinish[r])
+		}
+	}
+	sum := Summarize(ps)
+	if math.Abs(sum.MakeSpan-res.Time) > 1e-9 {
+		t.Errorf("makespan %v vs %v", sum.MakeSpan, res.Time)
+	}
+	// The sweep origin corner ranks wait the least; interior ranks have
+	// non-trivial comm share.
+	if sum.MeanCommShare <= 0 || sum.MeanCommShare >= 1 {
+		t.Errorf("mean comm share = %v", sum.MeanCommShare)
+	}
+}
+
+func TestSpansNonOverlappingPerRank(t *testing.T) {
+	rec, _, ranks := runTraced(t)
+	last := make([]float64, ranks)
+	for _, s := range rec.Spans() {
+		if s.Start < last[s.Rank]-1e-9 {
+			t.Fatalf("rank %d: span starts at %v before previous end %v", s.Rank, s.Start, last[s.Rank])
+		}
+		if s.End < s.Start {
+			t.Fatalf("negative span %+v", s)
+		}
+		last[s.Rank] = s.End
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	rec, _, ranks := runTraced(t)
+	var buf bytes.Buffer
+	rec.Gantt(&buf, ranks, 60)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != ranks+1 {
+		t.Fatalf("gantt lines = %d, want %d+axis", len(lines), ranks)
+	}
+	if !strings.ContainsAny(out, "csra") {
+		t.Error("gantt contains no activity glyphs")
+	}
+	// Empty recorder renders a placeholder.
+	var empty bytes.Buffer
+	NewRecorder().Gantt(&empty, 2, 10)
+	if !strings.Contains(empty.String(), "no spans") {
+		t.Errorf("empty gantt = %q", empty.String())
+	}
+}
