@@ -1,0 +1,135 @@
+// Command benchjson runs the simulator's key performance benchmarks and
+// writes the results as JSON so the performance trajectory can be tracked
+// across pull requests (the CI workflow archives the file).
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-o BENCH_simmpi.json] [-benchtime N]
+//
+// The headline metric reproduces BenchmarkSimulatorEventRate: one full
+// Sweep3D iteration (64³ grid, 16×16 decomposition, 256 ranks on the XT4
+// model) per op, reporting discrete-event throughput and the per-event
+// allocation rate. A handful of experiment drivers are timed alongside it
+// as end-to-end regression canaries.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/experiments"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+	"repro/internal/simnet"
+)
+
+type driverTiming struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+	Rows    int     `json:"rows"`
+}
+
+type report struct {
+	Benchmark      string         `json:"benchmark"`
+	Iterations     int            `json:"iterations"`
+	NsPerOp        float64        `json:"ns_per_op"`
+	EventsPerRun   uint64         `json:"events_per_run"`
+	EventsPerSec   float64        `json:"events_per_sec"`
+	AllocsPerOp    int64          `json:"allocs_per_op"`
+	AllocsPerEvent float64        `json:"allocs_per_event"`
+	BytesPerOp     int64          `json:"bytes_per_op"`
+	Drivers        []driverTiming `json:"drivers"`
+	GeneratedUnix  int64          `json:"generated_unix"`
+}
+
+// eventRate runs the event-rate workload iters times (after one warm-up)
+// and measures wall time and heap allocations per op.
+func eventRate(iters int) (nsPerOp float64, events uint64, allocsPerOp, bytesPerOp int64) {
+	g := grid.Cube(64)
+	bm := apps.Sweep3D(g, 2)
+	mach := machine.XT4()
+	dec := grid.MustDecompose(g, 16, 16)
+	run := func() uint64 {
+		sched, err := bm.Schedule(dec, 1)
+		if err != nil {
+			panic(err)
+		}
+		topo := simnet.NewTopology(mach.Params, dec.P(), simnet.GridPlacement(dec, mach))
+		sim := simmpi.New(topo)
+		for r, p := range sched.Programs() {
+			sim.SetProgram(r, p)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			panic(err)
+		}
+		return res.Events
+	}
+	events = run() // warm-up
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		events = run()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	nsPerOp = float64(elapsed.Nanoseconds()) / float64(iters)
+	allocsPerOp = int64(after.Mallocs-before.Mallocs) / int64(iters)
+	bytesPerOp = int64(after.TotalAlloc-before.TotalAlloc) / int64(iters)
+	return nsPerOp, events, allocsPerOp, bytesPerOp
+}
+
+func main() {
+	out := flag.String("o", "BENCH_simmpi.json", "output path")
+	iters := flag.Int("benchtime", 10, "iteration count for the event-rate benchmark")
+	flag.Parse()
+
+	nsPerOp, events, allocsPerOp, bytesPerOp := eventRate(*iters)
+
+	rep := report{
+		Benchmark:      "BenchmarkSimulatorEventRate",
+		Iterations:     *iters,
+		NsPerOp:        nsPerOp,
+		EventsPerRun:   events,
+		EventsPerSec:   float64(events) / (nsPerOp / 1e9),
+		AllocsPerOp:    allocsPerOp,
+		AllocsPerEvent: float64(allocsPerOp) / float64(events),
+		BytesPerOp:     bytesPerOp,
+		GeneratedUnix:  time.Now().Unix(),
+	}
+
+	for _, id := range []string{"table4", "fig10", "fig11"} {
+		start := time.Now()
+		tab, err := experiments.Run(id, false)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: driver %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		rep.Drivers = append(rep.Drivers, driverTiming{
+			ID:      id,
+			Seconds: time.Since(start).Seconds(),
+			Rows:    len(tab.Rows),
+		})
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %.1fM events/s, %.4f allocs/event, %d iterations\n",
+		*out, rep.EventsPerSec/1e6, rep.AllocsPerEvent, rep.Iterations)
+}

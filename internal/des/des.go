@@ -3,22 +3,66 @@
 // first-come-first-served resource used to model shared hardware such as a
 // node's memory bus (paper Section 4.3).
 //
+// # Event model
+//
+// The hot path is allocation-free: events are typed value records
+// ({Time, Seq, Kind, Arg0, Arg1}, see Event) stored directly in a concrete
+// 4-ary min-heap — no closures, no container/heap interface boxing — and
+// dispatched through a single Handler installed with SetHandler. A
+// simulation encodes each state-machine transition as a Kind and small
+// integer operands (a rank index, a pooled-object index) in the args.
+//
+// A thin closure-compatible wrapper (Schedule, At) remains for callers that
+// prefer func() events; both styles share one clock and one ordering.
+//
 // Events scheduled for the same virtual time fire in the order they were
 // scheduled, which makes simulations bit-for-bit reproducible.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
-	now    float64
-	seq    uint64
-	events eventHeap
-	ran    uint64
+	now     float64
+	seq     uint64
+	ran     uint64
+	handler Handler
+	events  eventHeap
+	pay     []payload // pending-event payloads, indexed by heap order slot
+	payFree []int32
+	fns     []func() // closure registry, indexed by closure payloads' arg0
+	fnFree  []int32
+}
+
+// AllocSlot pops an index off a free list (resetting that record) or
+// appends a fresh one. It is the one free-list allocator behind every
+// index-addressed pool in the engine and the simulations built on it.
+func AllocSlot[T any](items *[]T, free *[]int32, reset T) int32 {
+	if n := len(*free); n > 0 {
+		i := (*free)[n-1]
+		*free = (*free)[:n-1]
+		(*items)[i] = reset
+		return i
+	}
+	*items = append(*items, reset)
+	return int32(len(*items) - 1)
+}
+
+// pushEvent allocates a payload slot and pushes the 16-byte heap record.
+func (e *Engine) pushEvent(t float64, k Kind, arg0, arg1 int32) {
+	slot := AllocSlot(&e.pay, &e.payFree, payload{kind: k, arg0: arg0, arg1: arg1})
+	if slot > slotMask {
+		panic("des: too many pending events")
+	}
+	e.seq++
+	if e.seq > maxSeq {
+		panic("des: event sequence number overflow")
+	}
+	t += 0.0 // normalise -0 so the bit-pattern ordering matches float order
+	e.events.push(heapEvent{tbits: math.Float64bits(t), order: e.seq<<slotBits | uint64(slot)})
 }
 
 // Now returns the current virtual time in microseconds.
@@ -28,7 +72,11 @@ func (e *Engine) Now() float64 { return e.now }
 func (e *Engine) EventsRun() uint64 { return e.ran }
 
 // Pending returns the number of scheduled events not yet executed.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.events.len() }
+
+// SetHandler installs the dispatcher for typed events. It must be set
+// before the first typed event fires; closure events do not need it.
+func (e *Engine) SetHandler(h Handler) { e.handler = h }
 
 // Schedule runs fn after the given non-negative delay of virtual time.
 func (e *Engine) Schedule(delay float64, fn func()) {
@@ -43,20 +91,53 @@ func (e *Engine) At(t float64, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("des: scheduling into the past (t=%v, now=%v)", t, e.now))
 	}
-	e.seq++
-	heap.Push(&e.events, event{time: t, seq: e.seq, fn: fn})
+	e.pushEvent(t, kindClosure, AllocSlot(&e.fns, &e.fnFree, fn), 0)
+}
+
+// ScheduleKind schedules a typed event after the given non-negative delay.
+func (e *Engine) ScheduleKind(delay float64, k Kind, arg0, arg1 int32) {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("des: invalid delay %v", delay))
+	}
+	e.AtKind(e.now+delay, k, arg0, arg1)
+}
+
+// AtKind schedules a typed event at absolute virtual time t, which must not
+// be in the past. The kind must be non-zero (zero is reserved for closure
+// events); it is delivered to the Handler with the given args.
+func (e *Engine) AtKind(t float64, k Kind, arg0, arg1 int32) {
+	if t < e.now {
+		panic(fmt.Sprintf("des: scheduling into the past (t=%v, now=%v)", t, e.now))
+	}
+	if k == kindClosure {
+		panic("des: kind 0 is reserved for closure events")
+	}
+	e.pushEvent(t, k, arg0, arg1)
 }
 
 // Step executes the next event, if any, advancing the clock to its
 // timestamp. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if e.events.len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
-	e.now = ev.time
+	ev := e.events.pop()
+	slot := int32(ev.order & slotMask)
+	p := e.pay[slot]
+	e.payFree = append(e.payFree, slot)
+	e.now = ev.time()
 	e.ran++
-	ev.fn()
+	if p.kind == kindClosure {
+		fn := e.fns[p.arg0]
+		e.fns[p.arg0] = nil
+		e.fnFree = append(e.fnFree, p.arg0)
+		fn()
+		return true
+	}
+	if e.handler == nil {
+		panic(fmt.Sprintf("des: typed event kind %d with no handler installed", p.kind))
+	}
+	e.handler(Event{Time: e.now, Seq: ev.order >> slotBits, Kind: p.kind, Arg0: p.arg0, Arg1: p.arg1})
 	return true
 }
 
@@ -70,41 +151,12 @@ func (e *Engine) Run() float64 {
 // RunUntil executes events with timestamps ≤ t, then advances the clock to
 // t if it has not already passed it.
 func (e *Engine) RunUntil(t float64) {
-	for len(e.events) > 0 && e.events[0].time <= t {
+	for e.events.len() > 0 && e.events.top().time() <= t {
 		e.Step()
 	}
 	if e.now < t {
 		e.now = t
 	}
-}
-
-type event struct {
-	time float64
-	seq  uint64
-	fn   func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
 }
 
 // Resource models a single FCFS server (e.g. a node's shared memory bus).

@@ -206,3 +206,139 @@ func TestDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestTypedEventsDispatch(t *testing.T) {
+	var e Engine
+	type fired struct {
+		kind Kind
+		arg0 int32
+		arg1 int32
+		at   float64
+	}
+	var got []fired
+	e.SetHandler(func(ev Event) {
+		got = append(got, fired{ev.Kind, ev.Arg0, ev.Arg1, e.Now()})
+	})
+	e.AtKind(2, 7, 10, 20)
+	e.ScheduleKind(1, 3, -1, 0)
+	e.Run()
+	want := []fired{{3, -1, 0, 1}, {7, 10, 20, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("dispatch = %v, want %v", got, want)
+	}
+}
+
+func TestTypedAndClosureEventsShareOrdering(t *testing.T) {
+	var e Engine
+	var order []string
+	e.SetHandler(func(ev Event) { order = append(order, "typed") })
+	// Same timestamp: scheduling order must decide, regardless of style.
+	e.At(1, func() { order = append(order, "closure") })
+	e.AtKind(1, 1, 0, 0)
+	e.At(1, func() { order = append(order, "closure") })
+	e.Run()
+	want := []string{"closure", "typed", "closure"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestTypedEventSeqMonotonic(t *testing.T) {
+	var e Engine
+	var seqs []uint64
+	e.SetHandler(func(ev Event) {
+		seqs = append(seqs, ev.Seq)
+		if len(seqs) < 5 {
+			e.ScheduleKind(1, 1, 0, 0)
+		}
+	})
+	e.AtKind(0, 1, 0, 0)
+	e.Run()
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("seq not monotonic: %v", seqs)
+		}
+	}
+}
+
+func TestAtKindPanicsOnReservedKind(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for kind 0")
+		}
+	}()
+	e.AtKind(1, 0, 0, 0)
+}
+
+func TestAtKindPanicsOnPast(t *testing.T) {
+	var e Engine
+	e.SetHandler(func(Event) {})
+	e.AtKind(5, 1, 0, 0)
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	e.AtKind(1, 1, 0, 0)
+}
+
+func TestTypedEventWithoutHandlerPanics(t *testing.T) {
+	var e Engine
+	e.AtKind(1, 1, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic without handler")
+		}
+	}()
+	e.Run()
+}
+
+// TestHeapStressOrdering drives the heap through thousands of random
+// push/pop interleavings and checks strict (time, seq) pop order.
+func TestHeapStressOrdering(t *testing.T) {
+	var e Engine
+	rng := rand.New(rand.NewSource(42))
+	var lastTime float64
+	var lastSeq uint64
+	violations := 0
+	e.SetHandler(func(ev Event) {
+		if ev.Time < lastTime || (ev.Time == lastTime && ev.Seq <= lastSeq) {
+			violations++
+		}
+		lastTime, lastSeq = ev.Time, ev.Seq
+		// Keep the heap churning with bursts of future events.
+		if e.EventsRun() < 5000 {
+			for i := 0; i < rng.Intn(4); i++ {
+				e.ScheduleKind(rng.Float64()*3, 1, 0, 0)
+			}
+		}
+	})
+	for i := 0; i < 100; i++ {
+		e.ScheduleKind(rng.Float64(), 1, 0, 0)
+	}
+	e.Run()
+	if violations != 0 {
+		t.Errorf("%d ordering violations", violations)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after Run", e.Pending())
+	}
+}
+
+func TestRunUntilWithTypedEvents(t *testing.T) {
+	var e Engine
+	fired := 0
+	e.SetHandler(func(Event) { fired++ })
+	e.AtKind(1, 1, 0, 0)
+	e.AtKind(10, 1, 0, 0)
+	e.RunUntil(5)
+	if fired != 1 || e.Now() != 5 || e.Pending() != 1 {
+		t.Errorf("fired=%d now=%v pending=%d", fired, e.Now(), e.Pending())
+	}
+	e.Run()
+	if fired != 2 || e.Now() != 10 {
+		t.Errorf("after Run: fired=%d now=%v", fired, e.Now())
+	}
+}

@@ -1,0 +1,152 @@
+package simmpi
+
+import "repro/internal/des"
+
+// This file holds the allocation-free bookkeeping of the simulator's hot
+// path: free-list pools of message and receive-request records addressed
+// by index, per-rank flat channel tables, and ring-buffer channel queues.
+//
+// Messages and receive requests are referenced everywhere by int32 pool
+// index (and carried through the event heap in Event.Arg0), never by
+// pointer, so scheduling and matching perform zero heap allocations once
+// the pools and rings reach steady-state size.
+
+// none marks an empty index reference (no matched receive, no message).
+const none int32 = -1
+
+// message is a pooled in-flight message record.
+type message struct {
+	readyAt    float64 // valid once ready
+	src, dst   int32
+	bytes      int32
+	ch         int32 // owning channel index (satellite: unlink takes no map lookup)
+	recv       int32 // matched recvReq pool index, or none
+	rendezvous bool
+	ready      bool // data fully available at the receiver
+	rtsArrived bool // rendezvous: request-to-send reached the receiver
+	ctsIssued  bool // rendezvous: clear-to-send was generated
+}
+
+// recvReq is a pooled posted-receive record. Completion always navigates
+// message→request (message.recv), never the reverse, so the request does
+// not point back at its message.
+type recvReq struct {
+	postAt float64
+	rank   int32 // receiving rank
+}
+
+func (s *Sim) allocMsg() int32 {
+	return des.AllocSlot(&s.msgs, &s.msgFree, message{recv: none})
+}
+
+func (s *Sim) freeMsg(i int32) { s.msgFree = append(s.msgFree, i) }
+
+func (s *Sim) allocReq() int32 {
+	return des.AllocSlot(&s.reqs, &s.reqFree, recvReq{})
+}
+
+func (s *Sim) freeReq(i int32) { s.reqFree = append(s.reqFree, i) }
+
+// port is one entry of a rank's flat channel table: the destination peer
+// and the index of the (src, dst) channel in Sim.channels.
+type port struct {
+	peer int32
+	ch   int32
+}
+
+// chanIndex returns the channel carrying src→dst traffic, creating it on
+// first use. Wavefront ranks talk to at most four neighbours, so the
+// per-rank table is a handful of entries and a linear scan beats any map:
+// no hashing, no per-lookup allocation, one cache line.
+func (s *Sim) chanIndex(src, dst int32) int32 {
+	out := s.ranks[src].out
+	for i := range out {
+		if out[i].peer == dst {
+			return out[i].ch
+		}
+	}
+	ci := int32(len(s.channels))
+	s.channels = append(s.channels, channel{})
+	s.ranks[src].out = append(out, port{peer: dst, ch: ci})
+	return ci
+}
+
+// channel is the per-(src, dst) pair of FIFO queues: unmatched or
+// in-flight messages in sent order, and posted unmatched receives in post
+// order.
+type channel struct {
+	msgs  ring // message pool indices
+	recvs ring // recvReq pool indices
+}
+
+// unlink removes a completed message from its channel's queue. Because a
+// rank's receives are blocking, matches claim messages in FIFO order and
+// at most one claimed message is in flight per channel, so the completed
+// message is the queue head and removal is O(1); the ordered-remove
+// fallback is defensive only.
+func (s *Sim) unlink(ch *channel, mi int32) {
+	if ch.msgs.n > 0 && ch.msgs.at(0) == mi {
+		ch.msgs.popFront()
+		return
+	}
+	ch.msgs.remove(mi)
+}
+
+// ring is a growable circular FIFO of pool indices. The backing array's
+// length is always a power of two so position wrap-around is a mask.
+type ring struct {
+	buf  []int32
+	head int32
+	n    int32
+}
+
+// at returns the k-th element from the front, 0 ≤ k < n.
+func (q *ring) at(k int32) int32 {
+	return q.buf[int(q.head+k)&(len(q.buf)-1)]
+}
+
+func (q *ring) set(k, v int32) {
+	q.buf[int(q.head+k)&(len(q.buf)-1)] = v
+}
+
+func (q *ring) pushBack(v int32) {
+	if int(q.n) == len(q.buf) {
+		q.grow()
+	}
+	q.buf[int(q.head+q.n)&(len(q.buf)-1)] = v
+	q.n++
+}
+
+func (q *ring) popFront() int32 {
+	v := q.buf[q.head]
+	q.head = int32(int(q.head+1) & (len(q.buf) - 1))
+	q.n--
+	return v
+}
+
+// remove deletes the first occurrence of v, preserving FIFO order.
+func (q *ring) remove(v int32) {
+	for k := int32(0); k < q.n; k++ {
+		if q.at(k) != v {
+			continue
+		}
+		for j := k; j+1 < q.n; j++ {
+			q.set(j, q.at(j+1))
+		}
+		q.n--
+		return
+	}
+}
+
+func (q *ring) grow() {
+	capNew := len(q.buf) * 2
+	if capNew == 0 {
+		capNew = 4
+	}
+	buf := make([]int32, capNew)
+	for k := int32(0); k < q.n; k++ {
+		buf[k] = q.at(k)
+	}
+	q.buf = buf
+	q.head = 0
+}

@@ -11,6 +11,13 @@
 // multi-core message contention emerges from queueing rather than being a
 // closed-form term.
 //
+// The hot path is allocation-free: message lifetimes are an explicit
+// state machine of typed des events (events.go), message and receive
+// records live in index-addressed pools, and channels are flat per-rank
+// neighbour tables with ring-buffer queues (pool.go). Event ordering is
+// bit-identical to the original closure-based implementation
+// (golden_test.go).
+//
 // The simulator serves as the reproduction's "measured" substrate: the
 // plug-and-play analytic model of internal/core is validated against it the
 // way the paper validates against the Cray XT4.
@@ -136,10 +143,18 @@ type Tracer interface {
 type Sim struct {
 	eng    des.Engine
 	topo   *simnet.Topology
+	par    logp.Params // snapshot of topo.Params (frozen per Topology contract); hot handlers avoid re-copying the struct
 	ranks  []rankState
-	chans  map[chanKey]*channel
-	ar     map[int]*arGen
 	tracer Tracer
+
+	// Pooled hot-path state (pool.go).
+	channels []channel
+	msgs     []message
+	msgFree  []int32
+	reqs     []recvReq
+	reqFree  []int32
+
+	arGens []arGen
 
 	running int
 	sends   uint64
@@ -148,41 +163,21 @@ type Sim struct {
 }
 
 type rankState struct {
-	id      int
+	id      int32
 	prog    Program
 	t       float64 // local time of last completed operation
 	compute float64
 	arGen   int
 	done    bool
 
+	pending Op // comm op waiting for its evComm event
+
+	out []port // flat channel table: peers this rank sends to
+
 	// Tracing state: the communication op in progress and its start time.
 	inComm  bool
 	curOp   Op
 	opStart float64
-}
-
-type chanKey struct{ src, dst int32 }
-
-type channel struct {
-	msgs  []*message // unmatched or in-flight messages in sent order
-	recvs []*recvReq // posted, unmatched receives in post order
-}
-
-type message struct {
-	src, dst   int32
-	bytes      int
-	rendezvous bool
-	ready      bool    // data fully available at the receiver
-	readyAt    float64 // valid once ready
-	rtsArrived bool    // rendezvous: request-to-send reached the receiver
-	ctsIssued  bool    // rendezvous: clear-to-send was generated
-	recv       *recvReq
-}
-
-type recvReq struct {
-	rank   *rankState
-	postAt float64
-	msg    *message
 }
 
 type arGen struct {
@@ -196,13 +191,13 @@ type arGen struct {
 func New(topo *simnet.Topology) *Sim {
 	s := &Sim{
 		topo:  topo,
+		par:   topo.Params,
 		ranks: make([]rankState, topo.Ranks()),
-		chans: make(map[chanKey]*channel),
-		ar:    make(map[int]*arGen),
 	}
 	for i := range s.ranks {
-		s.ranks[i].id = i
+		s.ranks[i].id = int32(i)
 	}
+	s.eng.SetHandler(s.handle)
 	return s
 }
 
@@ -244,7 +239,7 @@ func (s *Sim) Run() (Result, error) {
 	for i := range s.ranks {
 		r := &s.ranks[i]
 		if !r.done {
-			stuck = append(stuck, r.id)
+			stuck = append(stuck, int(r.id))
 			continue
 		}
 		res.RankFinish[r.id] = r.t
@@ -271,7 +266,7 @@ func (s *Sim) advance(r *rankState) {
 			if r.curOp.Kind == OpAllReduce {
 				peer = -1
 			}
-			s.tracer.Span(r.id, r.curOp.Kind, peer, int(r.curOp.Bytes), r.opStart, r.t)
+			s.tracer.Span(int(r.id), r.curOp.Kind, peer, int(r.curOp.Bytes), r.opStart, r.t)
 		}
 	}
 	for {
@@ -287,14 +282,14 @@ func (s *Sim) advance(r *rankState) {
 		switch op.Kind {
 		case OpCompute:
 			if s.tracer != nil && op.Dur > 0 {
-				s.tracer.Span(r.id, OpCompute, -1, 0, r.t, r.t+op.Dur)
+				s.tracer.Span(int(r.id), OpCompute, -1, 0, r.t, r.t+op.Dur)
 			}
 			r.compute += op.Dur
 			r.t += op.Dur
 		case OpSend, OpRecv, OpAllReduce:
 			if r.t > s.eng.Now() {
-				op := op
-				s.eng.At(r.t, func() { s.execComm(r, op) })
+				r.pending = op
+				s.eng.AtKind(r.t, evComm, r.id, 0)
 			} else {
 				s.execComm(r, op)
 			}
@@ -313,7 +308,7 @@ func (s *Sim) finish(r *rankState) {
 // resumeAt unblocks r at virtual time t ≥ now.
 func (s *Sim) resumeAt(r *rankState, t float64) {
 	r.t = t
-	s.eng.At(t, func() { s.advance(r) })
+	s.eng.AtKind(t, evResume, r.id, 0)
 }
 
 // execComm performs a communication op at engine time == r.t.
@@ -331,201 +326,28 @@ func (s *Sim) execComm(r *rankState, op Op) {
 	}
 }
 
-func (s *Sim) channel(src, dst int32) *channel {
-	key := chanKey{src, dst}
-	ch := s.chans[key]
-	if ch == nil {
-		ch = &channel{}
-		s.chans[key] = ch
-	}
-	return ch
-}
-
-func (s *Sim) execSend(r *rankState, peer, bytes int) {
-	if peer == r.id || peer < 0 || peer >= len(s.ranks) {
-		panic(fmt.Sprintf("simmpi: rank %d sends to invalid peer %d", r.id, peer))
-	}
-	s.sends++
-	s.bytes += uint64(bytes)
-	ts := r.t
-	p := s.topo.Params
-	path := s.topo.Path(r.id, peer)
-	msg := &message{src: int32(r.id), dst: int32(peer), bytes: bytes}
-	ch := s.channel(msg.src, msg.dst)
-	ch.msgs = append(ch.msgs, msg)
-	// Match a posted receive, if one is waiting.
-	if len(ch.recvs) > 0 {
-		req := ch.recvs[0]
-		ch.recvs = ch.recvs[1:]
-		req.msg = msg
-		msg.recv = req
-	}
-
-	switch {
-	case path == logp.OnChip && bytes <= logp.EagerThreshold:
-		// Table 1(b) eq (5): ocopy + size×Gcopy + ocopy.
-		s.resumeAt(r, ts+p.Ocopy)
-		ready := ts + p.Ocopy + float64(bytes)*p.Gcopy
-		s.eng.At(ready, func() { s.deliver(msg, ready) })
-
-	case path == logp.OnChip:
-		// Table 1(b) eq (6): o + size×Gdma + ocopy, DMA via the shared bus.
-		start := ts + p.Ochip
-		s.eng.At(start, func() {
-			wait := s.topo.AcquireBus(r.id, start, bytes)
-			s.resumeAt(r, start+wait)
-			ready := start + wait + float64(bytes)*p.Gdma
-			s.eng.At(ready, func() { s.deliver(msg, ready) })
-		})
-
-	case bytes <= logp.EagerThreshold:
-		// Table 1(a) eq (1): o + size×G + L + o; eager, sender buffers.
-		s.resumeAt(r, ts+p.O)
-		inject := ts + p.O
-		s.eng.At(inject, func() {
-			wait := s.topo.AcquireBus(r.id, inject, bytes)
-			arrive := inject + wait + float64(bytes)*p.G + p.L
-			s.eng.At(arrive, func() {
-				w2 := s.topo.AcquireBus(peer, arrive, bytes)
-				ready := arrive + w2
-				s.deliver(msg, ready)
-			})
-		})
-
-	default:
-		// Table 1(a) eq (2): rendezvous. The sender stays blocked until the
-		// clear-to-send arrives and the data is injected.
-		msg.rendezvous = true
-		rtsAt := ts + p.O + p.L
-		s.eng.At(rtsAt, func() {
-			msg.rtsArrived = true
-			s.maybeHandshake(msg)
-		})
-	}
-}
-
-// maybeHandshake fires the rendezvous clear-to-send once both the RTS has
-// arrived at the receiver and a matching receive has been posted. It is
-// called at the virtual time of the later of those two events.
-func (s *Sim) maybeHandshake(msg *message) {
-	if msg.ctsIssued || !msg.rtsArrived || msg.recv == nil {
-		return
-	}
-	msg.ctsIssued = true
-	p := s.topo.Params
-	sender := &s.ranks[msg.src]
-	receiver := msg.recv.rank
-	th := s.eng.Now() // max(recv post, RTS arrival)
-	ctsAt := th + p.H + p.L
-	s.eng.At(ctsAt, func() {
-		inject := ctsAt + p.H + p.O
-		s.eng.At(inject, func() {
-			wait := s.topo.AcquireBus(sender.id, inject, msg.bytes)
-			s.resumeAt(sender, inject+wait)
-			arrive := inject + wait + float64(msg.bytes)*p.G + p.L
-			s.eng.At(arrive, func() {
-				w2 := s.topo.AcquireBus(receiver.id, arrive, msg.bytes)
-				ready := arrive + w2
-				msg.ready = true
-				msg.readyAt = ready
-				s.resumeAt(receiver, ready+p.O)
-				s.unlink(msg)
-			})
-		})
-	})
-}
-
-// deliver marks an eager or on-chip message's data available at the
-// receiver and completes a matched waiting receive.
-func (s *Sim) deliver(msg *message, ready float64) {
-	msg.ready = true
-	msg.readyAt = ready
-	if msg.recv != nil {
-		s.completeRecv(msg)
-	}
-}
-
-// completeRecv finishes a matched, ready, non-rendezvous receive.
-func (s *Sim) completeRecv(msg *message) {
-	req := msg.recv
-	start := msg.readyAt
-	if req.postAt > start {
-		start = req.postAt
-	}
-	s.resumeAt(req.rank, start+s.recvOverhead(msg))
-	s.unlink(msg)
-}
-
-// recvOverhead returns the receiver-side trailing processing time: o for
-// off-node messages (Table 1(a) eqs (3), (4b)), ocopy for on-chip messages
-// (Table 1(b) eqs (7), (8b)).
-func (s *Sim) recvOverhead(msg *message) float64 {
-	if s.topo.Path(int(msg.src), int(msg.dst)) == logp.OnChip {
-		return s.topo.Params.Ocopy
-	}
-	return s.topo.Params.O
-}
-
-// unlink removes a completed message from its channel queue.
-func (s *Sim) unlink(msg *message) {
-	ch := s.channel(msg.src, msg.dst)
-	for i, m := range ch.msgs {
-		if m == msg {
-			ch.msgs = append(ch.msgs[:i], ch.msgs[i+1:]...)
-			return
-		}
-	}
-}
-
-func (s *Sim) execRecv(r *rankState, peer int) {
-	if peer == r.id || peer < 0 || peer >= len(s.ranks) {
-		panic(fmt.Sprintf("simmpi: rank %d receives from invalid peer %d", r.id, peer))
-	}
-	s.recvs++
-	ch := s.channel(int32(peer), int32(r.id))
-	req := &recvReq{rank: r, postAt: r.t}
-	// Match the first message not already claimed by an earlier receive
-	// (MPI non-overtaking ordering between a pair of ranks).
-	var msg *message
-	for _, m := range ch.msgs {
-		if m.recv == nil {
-			msg = m
-			break
-		}
-	}
-	if msg == nil {
-		ch.recvs = append(ch.recvs, req)
-		return
-	}
-	msg.recv = req
-	req.msg = msg
-	switch {
-	case msg.rendezvous:
-		s.maybeHandshake(msg)
-	case msg.ready:
-		s.completeRecv(msg)
-	}
-	// Otherwise the message is still in flight; deliver() completes it.
-}
-
 func (s *Sim) execAllReduce(r *rankState, bytes int) {
-	gen := s.ar[r.arGen]
-	if gen == nil {
-		gen = &arGen{bytes: bytes, times: make([]float64, len(s.ranks))}
-		s.ar[r.arGen] = gen
+	key := r.arGen
+	for len(s.arGens) <= key {
+		s.arGens = append(s.arGens, arGen{})
+	}
+	gen := &s.arGens[key]
+	if gen.times == nil {
+		gen.bytes = bytes
+		gen.times = make([]float64, len(s.ranks))
 	}
 	if gen.bytes != bytes {
 		panic(fmt.Sprintf("simmpi: mismatched all-reduce sizes %d vs %d", gen.bytes, bytes))
 	}
 	gen.times[r.id] = r.t
 	gen.entered++
-	key := r.arGen
 	r.arGen++
 	if gen.entered < len(s.ranks) {
 		return
 	}
-	delete(s.ar, key)
-	done := s.allReduceTimes(gen.times, bytes)
+	times := gen.times
+	gen.times = nil // release; the generation is complete
+	done := s.allReduceTimes(times, bytes)
 	for i := range s.ranks {
 		s.resumeAt(&s.ranks[i], done[i])
 	}

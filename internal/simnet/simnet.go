@@ -63,12 +63,18 @@ func SpreadPlacement() Placement {
 }
 
 // Topology is the instantiated hardware substrate for a fixed rank count.
+//
+// Params is frozen at NewTopology: hot-path costs (BusOccupancy) are
+// precomputed from it, so mutating the field afterwards is not supported —
+// build a new Topology instead.
 type Topology struct {
-	Params logp.Params
-	ranks  int
-	nodeOf []int32
-	busOf  []int32 // global bus index
-	buses  []des.Resource
+	Params  logp.Params
+	ranks   int
+	occBase float64 // Odma(), precomputed: BusOccupancy is hot-path
+	occGdma float64 // Params.Gdma, precomputed alongside occBase
+	nodeOf  []int32
+	busOf   []int32 // global bus index
+	buses   []des.Resource
 }
 
 // NewTopology resolves a placement for the given number of ranks.
@@ -77,10 +83,12 @@ func NewTopology(p logp.Params, ranks int, place Placement) *Topology {
 		panic(fmt.Sprintf("simnet: invalid rank count %d", ranks))
 	}
 	t := &Topology{
-		Params: p,
-		ranks:  ranks,
-		nodeOf: make([]int32, ranks),
-		busOf:  make([]int32, ranks),
+		Params:  p,
+		ranks:   ranks,
+		occBase: p.Odma(),
+		occGdma: p.Gdma,
+		nodeOf:  make([]int32, ranks),
+		busOf:   make([]int32, ranks),
 	}
 	busIndex := map[[2]int]int32{}
 	for r := 0; r < ranks; r++ {
@@ -119,7 +127,7 @@ func (t *Topology) Path(a, b int) logp.Path {
 // BusOccupancy returns the bus holding time of one DMA of the given message
 // size: odma + size × Gdma, the paper's per-interference cost I (Table 6).
 func (t *Topology) BusOccupancy(size int) float64 {
-	return t.Params.Odma() + float64(size)*t.Params.Gdma
+	return t.occBase + float64(size)*t.occGdma
 }
 
 // AcquireBus reserves rank r's shared bus at virtual time now for one DMA

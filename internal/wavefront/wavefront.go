@@ -249,8 +249,20 @@ func (p *rankProgram) loadSweep() {
 	p.stage = 0
 }
 
-// Next implements simmpi.Program.
+// Next implements simmpi.Program. The within-tile case is the hot path —
+// the simulator calls Next once per operation — so it is split from the
+// tile/sweep/iteration bookkeeping.
 func (p *rankProgram) Next() (simmpi.Op, bool) {
+	if p.stage < len(p.tileOps) && !p.inInter && !p.done {
+		op := p.tileOps[p.stage]
+		p.stage++
+		return op, true
+	}
+	return p.nextSlow()
+}
+
+// nextSlow advances tile, sweep and iteration bookkeeping.
+func (p *rankProgram) nextSlow() (simmpi.Op, bool) {
 	s := p.sched
 	for {
 		if p.done {
