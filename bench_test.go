@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fitting"
@@ -205,6 +206,43 @@ func BenchmarkModelEvaluation128K(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCampaignExample measures batch throughput of the campaign
+// engine on the built-in example sweep (24 model+simulator runs over
+// apps × machines × ranks × LogGP overrides), with each worker reusing one
+// simulator across runs. The runs/s metric is what cmd/benchjson tracks.
+func BenchmarkCampaignExample(b *testing.B) {
+	runs, err := campaign.Example().Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := campaign.Engine{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Execute(runs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(runs)*b.N)/b.Elapsed().Seconds(), "runs/s")
+}
+
+// BenchmarkCampaignSerialReuse measures the per-run cost of the
+// simulator-reuse path itself: one worker, back-to-back runs, no pool
+// overhead.
+func BenchmarkCampaignSerialReuse(b *testing.B) {
+	runs, err := campaign.Example().Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := campaign.Engine{Workers: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Execute(runs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(runs)*b.N)/b.Elapsed().Seconds(), "runs/s")
 }
 
 // BenchmarkSimulatorEventRate measures discrete-event throughput on a

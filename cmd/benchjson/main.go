@@ -9,8 +9,10 @@
 // The headline metric reproduces BenchmarkSimulatorEventRate: one full
 // Sweep3D iteration (64³ grid, 16×16 decomposition, 256 ranks on the XT4
 // model) per op, reporting discrete-event throughput and the per-event
-// allocation rate. A handful of experiment drivers are timed alongside it
-// as end-to-end regression canaries.
+// allocation rate. Batch throughput is tracked alongside it: the built-in
+// example campaign (24 model+simulator runs across the sweep dimensions)
+// executed on the full worker pool, reported in runs per second. A handful
+// of experiment drivers are timed as end-to-end regression canaries.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/grid"
 	"repro/internal/machine"
@@ -36,16 +39,46 @@ type driverTiming struct {
 }
 
 type report struct {
-	Benchmark      string         `json:"benchmark"`
-	Iterations     int            `json:"iterations"`
-	NsPerOp        float64        `json:"ns_per_op"`
-	EventsPerRun   uint64         `json:"events_per_run"`
-	EventsPerSec   float64        `json:"events_per_sec"`
-	AllocsPerOp    int64          `json:"allocs_per_op"`
-	AllocsPerEvent float64        `json:"allocs_per_event"`
-	BytesPerOp     int64          `json:"bytes_per_op"`
-	Drivers        []driverTiming `json:"drivers"`
-	GeneratedUnix  int64          `json:"generated_unix"`
+	Benchmark      string  `json:"benchmark"`
+	Iterations     int     `json:"iterations"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	EventsPerRun   uint64  `json:"events_per_run"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+
+	// Campaign batch throughput on the built-in example sweep: how many
+	// model+simulator runs per second the worker pool sustains.
+	CampaignRuns       int     `json:"campaign_runs"`
+	CampaignWorkers    int     `json:"campaign_workers"`
+	CampaignSeconds    float64 `json:"campaign_seconds"`
+	CampaignRunsPerSec float64 `json:"campaign_runs_per_sec"`
+
+	Drivers       []driverTiming `json:"drivers"`
+	GeneratedUnix int64          `json:"generated_unix"`
+}
+
+// campaignRate executes the built-in example campaign repeatedly (after one
+// warm-up) and reports batch throughput in runs per second.
+func campaignRate(repeats int) (runs, workers int, seconds float64) {
+	spec := campaign.Example()
+	expanded, err := spec.Expand()
+	if err != nil {
+		panic(err)
+	}
+	workers = runtime.GOMAXPROCS(0)
+	eng := campaign.Engine{Workers: workers}
+	if _, err := eng.Execute(expanded); err != nil { // warm-up
+		panic(err)
+	}
+	start := time.Now()
+	for i := 0; i < repeats; i++ {
+		if _, err := eng.Execute(expanded); err != nil {
+			panic(err)
+		}
+	}
+	return len(expanded) * repeats, workers, time.Since(start).Seconds()
 }
 
 // eventRate runs the event-rate workload iters times (after one warm-up)
@@ -93,6 +126,7 @@ func main() {
 	flag.Parse()
 
 	nsPerOp, events, allocsPerOp, bytesPerOp := eventRate(*iters)
+	campRuns, campWorkers, campSeconds := campaignRate(*iters)
 
 	rep := report{
 		Benchmark:      "BenchmarkSimulatorEventRate",
@@ -103,7 +137,13 @@ func main() {
 		AllocsPerOp:    allocsPerOp,
 		AllocsPerEvent: float64(allocsPerOp) / float64(events),
 		BytesPerOp:     bytesPerOp,
-		GeneratedUnix:  time.Now().Unix(),
+
+		CampaignRuns:       campRuns,
+		CampaignWorkers:    campWorkers,
+		CampaignSeconds:    campSeconds,
+		CampaignRunsPerSec: float64(campRuns) / campSeconds,
+
+		GeneratedUnix: time.Now().Unix(),
 	}
 
 	for _, id := range []string{"table4", "fig10", "fig11"} {
@@ -130,6 +170,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: %.1fM events/s, %.4f allocs/event, %d iterations\n",
-		*out, rep.EventsPerSec/1e6, rep.AllocsPerEvent, rep.Iterations)
+	fmt.Printf("wrote %s: %.1fM events/s, %.4f allocs/event, %.0f campaign runs/s (%d workers), %d iterations\n",
+		*out, rep.EventsPerSec/1e6, rep.AllocsPerEvent, rep.CampaignRunsPerSec, rep.CampaignWorkers, rep.Iterations)
 }

@@ -1,0 +1,156 @@
+// Command campaign executes declarative scenario sweeps: a JSON spec of
+// applications × machines × rank counts × LogGP overrides expands into a
+// deterministic run list that a worker pool of reusable simulators churns
+// through, comparing the plug-and-play model against the discrete-event
+// simulator on every run.
+//
+// Usage:
+//
+//	campaign -spec sweep.json [-workers N] [-out runs.jsonl] [-filter expr]
+//	campaign -builtin example            # small built-in demonstration sweep
+//	campaign -builtin flagship           # the 240-run design-space sweep
+//	campaign -spec sweep.json -list      # show the expanded runs, don't execute
+//	campaign -print-spec example         # print a built-in spec as JSON
+//
+// The JSONL output contains only deterministic fields: the same spec
+// produces byte-identical files for any -workers value. Filters restrict
+// the sweep, e.g. -filter "app=LU,p=64|256,override=baseline".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "campaign spec file (JSON)")
+	builtin := flag.String("builtin", "", "run a built-in campaign: "+strings.Join(campaign.BuiltinNames(), ", "))
+	printSpec := flag.String("print-spec", "", "print a built-in campaign spec as JSON and exit")
+	list := flag.Bool("list", false, "list the expanded runs without executing")
+	filter := flag.String("filter", "", "restrict runs, e.g. \"app=LU,p=64|256,override=baseline\"")
+	workers := flag.Int("workers", 0, "worker pool size (default: GOMAXPROCS)")
+	out := flag.String("out", "", "write per-run results as JSONL to this file")
+	quiet := flag.Bool("quiet", false, "suppress the progress ticker and summary tables")
+	flag.Parse()
+
+	if *printSpec != "" {
+		spec, ok := campaign.Builtin(*printSpec)
+		if !ok {
+			fail(fmt.Errorf("unknown built-in campaign %q (want %s)", *printSpec, strings.Join(campaign.BuiltinNames(), ", ")))
+		}
+		data, err := json.MarshalIndent(spec, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
+	var spec campaign.Spec
+	switch {
+	case *specPath != "" && *builtin != "":
+		fail(fmt.Errorf("use -spec or -builtin, not both"))
+	case *specPath != "":
+		s, err := campaign.LoadSpec(*specPath)
+		if err != nil {
+			fail(err)
+		}
+		spec = s
+	case *builtin != "":
+		s, ok := campaign.Builtin(*builtin)
+		if !ok {
+			fail(fmt.Errorf("unknown built-in campaign %q (want %s)", *builtin, strings.Join(campaign.BuiltinNames(), ", ")))
+		}
+		spec = s
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	runs, err := spec.Expand()
+	if err != nil {
+		fail(err)
+	}
+	if *filter != "" {
+		f, err := campaign.ParseFilter(*filter)
+		if err != nil {
+			fail(err)
+		}
+		runs = f.Apply(runs)
+	}
+	if len(runs) == 0 {
+		fail(fmt.Errorf("campaign %q has no runs after filtering", spec.Name))
+	}
+
+	if *list {
+		for _, r := range runs {
+			fmt.Printf("%4d  %s\n", r.Index, r.Key())
+		}
+		fmt.Printf("%d runs\n", len(runs))
+		return
+	}
+
+	eng := campaign.Engine{Workers: *workers}
+	if !*quiet {
+		eng.Progress = func(done, total int) {
+			if done == total || done%50 == 0 {
+				fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+			}
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	start := time.Now()
+	results, err := eng.Execute(runs)
+	wall := time.Since(start)
+	if err != nil {
+		// Write what completed before failing: partial JSONL aids triage.
+		writeOut(*out, results)
+		fail(err)
+	}
+	writeOut(*out, results)
+
+	if !*quiet {
+		campaign.RenderSummary(os.Stdout, spec.Name, results, campaign.Summarize(results))
+		w := eng.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		fmt.Printf("  wall time: %.2fs with %d workers (%.0f runs/s)\n",
+			wall.Seconds(), w, float64(len(results))/wall.Seconds())
+	}
+}
+
+// writeOut writes the JSONL file when -out was given.
+func writeOut(path string, results []campaign.RunResult) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := campaign.WriteJSONL(f, results); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "campaign:") {
+		msg = "campaign: " + msg
+	}
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(1)
+}

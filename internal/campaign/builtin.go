@@ -1,0 +1,73 @@
+package campaign
+
+import "repro/internal/config"
+
+// Example returns a small built-in campaign (24 runs, a couple of seconds)
+// that demonstrates every dimension: two paper benchmarks, single- and
+// dual-core XT4 nodes, three rank counts and a degraded-network LogGP
+// override. `cmd/campaign -builtin example` runs it; CI uses it as the
+// smoke sweep.
+func Example() Spec {
+	g := config.GridSpec{Nx: 24, Ny: 24, Nz: 24}
+	return Spec{
+		Name:       "example",
+		Iterations: 1,
+		Apps: []AppDim{
+			{Preset: "sweep3d", Grid: &g},
+			{Preset: "lu", Grid: &g},
+		},
+		Machines: []MachineDim{
+			{MachineSpec: config.MachineSpec{Preset: "xt4", CoresPerNode: 1}},
+			{MachineSpec: config.MachineSpec{Preset: "xt4", CoresPerNode: 2}},
+		},
+		Ranks: []int{4, 16, 36},
+		LogGP: []ParamOverride{
+			{Name: "baseline"},
+			{Name: "slow-net", Scale: map[string]float64{"L": 4, "G": 2}},
+		},
+	}
+}
+
+// Flagship returns the full design-space sweep: the three paper benchmarks
+// on a 48³ grid across four node designs (1–8 cores per shared bus), five
+// rank counts and four network perturbations — 240 runs asking at once the
+// kinds of questions Sections 5.1–5.5 ask one figure at a time.
+func Flagship() Spec {
+	g := config.GridSpec{Nx: 48, Ny: 48, Nz: 48}
+	return Spec{
+		Name:       "flagship",
+		Iterations: 1,
+		Apps: []AppDim{
+			{Preset: "lu", Grid: &g},
+			{Preset: "sweep3d", Grid: &g},
+			{Preset: "chimaera", Grid: &g},
+		},
+		Machines: []MachineDim{
+			{MachineSpec: config.MachineSpec{Preset: "xt4", CoresPerNode: 1}},
+			{MachineSpec: config.MachineSpec{Preset: "xt4", CoresPerNode: 2}},
+			{MachineSpec: config.MachineSpec{Preset: "xt4", CoresPerNode: 4}},
+			{MachineSpec: config.MachineSpec{Preset: "xt4", CoresPerNode: 8}},
+		},
+		Ranks: []int{16, 36, 64, 144, 256},
+		LogGP: []ParamOverride{
+			{Name: "baseline"},
+			{Name: "slow-net", Scale: map[string]float64{"L": 4, "G": 2}},
+			{Name: "fast-net", Scale: map[string]float64{"L": 0.5, "G": 0.5}},
+			{Name: "half-overhead", Scale: map[string]float64{"o": 0.5, "ocopy": 0.5}},
+		},
+	}
+}
+
+// Builtin resolves a built-in spec by name; ok is false for unknown names.
+func Builtin(name string) (Spec, bool) {
+	switch name {
+	case "example":
+		return Example(), true
+	case "flagship":
+		return Flagship(), true
+	}
+	return Spec{}, false
+}
+
+// BuiltinNames lists the built-in campaign names.
+func BuiltinNames() []string { return []string{"example", "flagship"} }

@@ -1,0 +1,186 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/simmpi"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// RunResult is the record a campaign emits for one run: the run's
+// coordinates, the analytic model's prediction, the simulator's result and
+// the error metrics between them, plus traffic and contention counters.
+//
+// Every exported JSON field is a deterministic function of the run — wall
+// time is kept out of the JSONL encoding so output is byte-identical
+// regardless of worker count or host speed.
+type RunResult struct {
+	Index      int    `json:"index"`
+	Campaign   string `json:"campaign"`
+	App        string `json:"app"`
+	Grid       string `json:"grid"`
+	Htile      int    `json:"htile"`
+	Machine    string `json:"machine"`
+	Override   string `json:"override"`
+	P          int    `json:"p"`
+	Iterations int    `json:"iterations"`
+
+	ModelMicros float64 `json:"model_us"`
+	SimMicros   float64 `json:"sim_us"`
+	RelErr      float64 `json:"rel_err"` // signed, (model − sim)/sim
+	AbsErr      float64 `json:"abs_err"` // |rel_err|
+	Band        string  `json:"band"`    // paper accuracy band (metrics.ErrorBand)
+	RunsPerMon  float64 `json:"runs_per_month"`
+
+	Events    uint64  `json:"events"`
+	Messages  uint64  `json:"messages"`
+	BytesSent uint64  `json:"bytes_sent"`
+	BusWait   float64 `json:"bus_wait_us"`
+
+	Error string `json:"error,omitempty"`
+
+	// WallSeconds is the host wall time the run took. It is reported in
+	// summaries but deliberately excluded from JSONL (see type doc).
+	WallSeconds float64 `json:"-"`
+}
+
+// Engine executes campaign runs on a pool of workers, each owning one
+// reusable simulator.
+type Engine struct {
+	// Workers is the pool size; non-positive means GOMAXPROCS.
+	Workers int
+	// Progress, if non-nil, is called after each run completes with the
+	// completed and total counts. Calls are serialised.
+	Progress func(done, total int)
+}
+
+// workers resolves the effective pool size for n runs.
+func (e Engine) workers(n int) int {
+	w := e.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Execute runs every run and returns results indexed like the input. The
+// result slice is complete even on error; the returned error is the
+// lowest-indexed run failure. Output is independent of Workers.
+func (e Engine) Execute(runs []Run) ([]RunResult, error) {
+	results := make([]RunResult, len(runs))
+	if len(runs) == 0 {
+		return results, nil
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	for w := e.workers(len(runs)); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sim *simmpi.Sim // lazily built, then reused via Reset
+			for i := range jobs {
+				results[i] = executeRun(runs[i], &sim)
+				if e.Progress != nil {
+					mu.Lock()
+					done++
+					e.Progress(done, len(runs))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range runs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i := range results {
+		if results[i].Error != "" {
+			return results, fmt.Errorf("campaign: run %s: %s", runs[i].Key(), results[i].Error)
+		}
+	}
+	return results, nil
+}
+
+// ExecuteSpec expands the spec and executes it in one call.
+func (e Engine) ExecuteSpec(s Spec) ([]RunResult, error) {
+	runs, err := s.Expand()
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(runs)
+}
+
+// executeRun evaluates the analytic model and the simulator for one run.
+// simp points at the worker's simulator slot: nil on the worker's first
+// run, Reset and reused afterwards.
+func executeRun(r Run, simp **simmpi.Sim) RunResult {
+	start := time.Now()
+	out := RunResult{
+		Index:      r.Index,
+		Campaign:   r.Campaign,
+		App:        r.App,
+		Grid:       r.Grid,
+		Htile:      r.Htile,
+		Machine:    r.Machine,
+		Override:   r.Override,
+		P:          r.P,
+		Iterations: r.Iterations,
+	}
+	fail := func(err error) RunResult {
+		out.Error = err.Error()
+		out.WallSeconds = time.Since(start).Seconds()
+		return out
+	}
+
+	bm := r.bm.WithIterations(r.Iterations)
+	rep, err := core.New(bm.App, r.mach).Evaluate(r.dec)
+	if err != nil {
+		return fail(err)
+	}
+	sched, err := bm.Schedule(r.dec, r.Iterations)
+	if err != nil {
+		return fail(err)
+	}
+	topo := simnet.NewTopology(r.mach.Params, r.dec.P(), simnet.GridPlacement(r.dec, r.mach))
+	if *simp == nil {
+		*simp = simmpi.New(topo)
+	} else {
+		(*simp).Reset(topo)
+	}
+	sim := *simp
+	for rank, prog := range sched.Programs() {
+		sim.SetProgram(rank, prog)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return fail(err)
+	}
+
+	out.ModelMicros = rep.Total
+	out.SimMicros = res.Time
+	out.RelErr = stats.SignedRelErr(rep.Total, res.Time)
+	out.AbsErr = stats.RelErr(rep.Total, res.Time)
+	out.Band = metrics.ErrorBand(out.AbsErr)
+	out.RunsPerMon = metrics.TimeStepsPerMonth(res.Time)
+	out.Events = res.Events
+	out.Messages = res.Sends
+	out.BytesSent = res.BytesSent
+	out.BusWait = res.BusWait
+	out.WallSeconds = time.Since(start).Seconds()
+	return out
+}

@@ -8,6 +8,7 @@
 package config
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -208,12 +209,26 @@ type File struct {
 	Machine MachineSpec `json:"machine"`
 }
 
+// DecodeStrict decodes a single JSON document into v, rejecting unknown
+// fields and trailing content. Spec loaders (config files, campaign specs)
+// share it so that a typo in a field name is an error, not a silently
+// ignored knob.
+func DecodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing content after JSON document")
+	}
+	return nil
+}
+
 // Parse decodes a run description from JSON bytes.
 func Parse(data []byte) (File, error) {
 	var f File
-	dec := json.NewDecoder(strings.NewReader(string(data)))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&f); err != nil {
+	if err := DecodeStrict(data, &f); err != nil {
 		return File{}, fmt.Errorf("config: %w", err)
 	}
 	return f, nil

@@ -65,6 +65,21 @@ func (e *Engine) pushEvent(t float64, k Kind, arg0, arg1 int32) {
 	e.events.push(heapEvent{tbits: math.Float64bits(t), order: e.seq<<slotBits | uint64(slot)})
 }
 
+// Reset returns the engine to its initial state — clock at zero, no
+// pending events, fresh sequence numbering — while retaining the installed
+// handler and the capacity of the event heap and payload pools. A reset
+// engine behaves bit-identically to a newly constructed one, so a long-lived
+// engine can serve back-to-back simulations without reallocating.
+func (e *Engine) Reset() {
+	e.now, e.seq, e.ran = 0, 0, 0
+	e.events.clear()
+	e.pay, e.payFree = e.pay[:0], e.payFree[:0]
+	for i := range e.fns {
+		e.fns[i] = nil // release closures of any abandoned pending events
+	}
+	e.fns, e.fnFree = e.fns[:0], e.fnFree[:0]
+}
+
 // Now returns the current virtual time in microseconds.
 func (e *Engine) Now() float64 { return e.now }
 

@@ -342,3 +342,40 @@ func TestRunUntilWithTypedEvents(t *testing.T) {
 		t.Errorf("after Run: fired=%d now=%v", fired, e.Now())
 	}
 }
+
+func TestEngineReset(t *testing.T) {
+	var e Engine
+	var order []int32
+	e.SetHandler(func(ev Event) { order = append(order, ev.Arg0) })
+	e.AtKind(2, 1, 0, 0)
+	e.AtKind(1, 1, 1, 0)
+	e.Schedule(3, func() { order = append(order, 99) })
+	e.Run()
+
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 || e.EventsRun() != 0 {
+		t.Fatalf("reset engine not pristine: now=%v pending=%d ran=%d",
+			e.Now(), e.Pending(), e.EventsRun())
+	}
+	// A reset engine replays the same schedule identically, handler intact.
+	order = nil
+	e.AtKind(2, 1, 0, 0)
+	e.AtKind(1, 1, 1, 0)
+	e.Schedule(3, func() { order = append(order, 99) })
+	end := e.Run()
+	if end != 3 || len(order) != 3 || order[0] != 1 || order[1] != 0 || order[2] != 99 {
+		t.Errorf("replay after reset: end=%v order=%v", end, order)
+	}
+}
+
+func TestEngineResetDropsAbandonedEvents(t *testing.T) {
+	var e Engine
+	e.SetHandler(func(Event) {})
+	e.AtKind(1, 1, 0, 0)
+	e.At(5, func() { t.Error("abandoned closure fired") })
+	e.RunUntil(2) // leaves the closure pending
+	e.Reset()
+	if e.Run() != 0 {
+		t.Error("reset engine ran abandoned events")
+	}
+}

@@ -104,6 +104,9 @@ func alignBase(buf []heapEvent) int {
 
 func (h *eventHeap) len() int { return h.n }
 
+// clear empties the heap, keeping the backing array and its alignment.
+func (h *eventHeap) clear() { h.n = 0 }
+
 // grow reallocates with doubled capacity and a fresh alignment base.
 func (h *eventHeap) grow() {
 	capNew := 2 * (len(h.buf) + 4)

@@ -182,3 +182,35 @@ func TestFig11CommunicationEventuallyDominates(t *testing.T) {
 			large.CommDays/large.TotalDays*100)
 	}
 }
+
+// TestValidateCampaignParity pins the campaign-engine port of the
+// validation driver to the direct CompareOne path: same apps, same order,
+// bit-identical model and simulator numbers.
+func TestValidateCampaignParity(t *testing.T) {
+	cfg := DefaultValidationConfig(true)
+	got, err := ValidateData(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for _, bm := range ValidationBenchmarks(cfg.Grid) {
+		for _, p := range cfg.Ps {
+			want, err := CompareOne(bm, cfg.Machine, p, cfg.Iters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i >= len(got) {
+				t.Fatalf("campaign produced %d points, want more", len(got))
+			}
+			g := got[i]
+			if g.App != want.App || g.P != want.P ||
+				g.Model != want.Model || g.Simulated != want.Simulated {
+				t.Errorf("point %d: campaign %+v != direct %+v", i, g, want)
+			}
+			i++
+		}
+	}
+	if i != len(got) {
+		t.Errorf("campaign produced %d extra points", len(got)-i)
+	}
+}

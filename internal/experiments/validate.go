@@ -9,6 +9,8 @@ import (
 	"fmt"
 
 	"repro/internal/apps"
+	"repro/internal/campaign"
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/machine"
@@ -107,16 +109,61 @@ func ValidationBenchmarks(g grid.Grid) []apps.Benchmark {
 	}
 }
 
-// ValidateData runs the full model-vs-simulator sweep.
+// ValidationSpec expresses the validation sweep as a declarative campaign:
+// the three Table 3 benchmarks on the validation grid, the validation
+// machine, and every processor count — the paper table as "just another
+// campaign". The machine's LogGP parameters and node shape carry over; the
+// core rectangle is re-derived from the core count (all validation machines
+// use the paper's standard rectangles).
+func ValidationSpec(cfg ValidationConfig) campaign.Spec {
+	g := config.GridSpec{Nx: cfg.Grid.Nx, Ny: cfg.Grid.Ny, Nz: cfg.Grid.Nz}
+	prm := cfg.Machine.Params
+	return campaign.Spec{
+		Name:       "validate",
+		Iterations: cfg.Iters,
+		Apps: []campaign.AppDim{
+			{Preset: "lu", Grid: &g},
+			{Preset: "sweep3d", Grid: &g, Htile: 2},
+			{Preset: "chimaera", Grid: &g, Htile: 1},
+		},
+		Machines: []campaign.MachineDim{{
+			MachineSpec: config.MachineSpec{
+				Params:       &prm,
+				CoresPerNode: cfg.Machine.CoresPerNode,
+				BusGroups:    cfg.Machine.BusGroups,
+			},
+			Label: cfg.Machine.Name,
+		}},
+		Ranks: cfg.Ps,
+	}
+}
+
+// ValidateData runs the full model-vs-simulator sweep through the campaign
+// engine: the spec above expands to apps × processor counts in the same
+// order the hand-written loop used, and the worker pool executes the runs
+// in parallel with bit-identical results.
 func ValidateData(cfg ValidationConfig) ([]ValidationPoint, error) {
-	var out []ValidationPoint
-	for _, bm := range ValidationBenchmarks(cfg.Grid) {
-		for _, p := range cfg.Ps {
-			pt, err := CompareOne(bm, cfg.Machine, p, cfg.Iters)
-			if err != nil {
-				return nil, fmt.Errorf("%s P=%d: %w", bm.App.Name, p, err)
-			}
-			out = append(out, pt)
+	// The campaign machine spec derives the core rectangle from the core
+	// count; refuse configs it cannot represent rather than silently
+	// simulating a different placement.
+	if cx, cy, err := machine.CoreRectangle(cfg.Machine.CoresPerNode); err != nil ||
+		cx != cfg.Machine.Cx || cy != cfg.Machine.Cy {
+		return nil, fmt.Errorf(
+			"experiments: machine %q uses a non-standard %dx%d core rectangle (campaign specs derive %dx%d from %d cores); use CompareOne directly",
+			cfg.Machine.Name, cfg.Machine.Cx, cfg.Machine.Cy, cx, cy, cfg.Machine.CoresPerNode)
+	}
+	results, err := campaign.Engine{}.ExecuteSpec(ValidationSpec(cfg))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ValidationPoint, len(results))
+	for i, r := range results {
+		out[i] = ValidationPoint{
+			App:       r.App,
+			P:         r.P,
+			Model:     r.ModelMicros,
+			Simulated: r.SimMicros,
+			RelErr:    r.RelErr,
 		}
 	}
 	return out, nil

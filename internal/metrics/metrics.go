@@ -22,6 +22,28 @@ func TimeStepsPerMonth(perStepMicros float64) float64 {
 	return MicrosecondsPerMonth / perStepMicros
 }
 
+// ErrorBand classifies an absolute relative model error into the accuracy
+// bands the paper reports (Section 4: under 5% for LU, under 10% for the
+// particle transport codes in high-performance configurations). Campaign
+// summaries count runs per band to show where a model leaves its validated
+// envelope.
+func ErrorBand(absRelErr float64) string {
+	e := math.Abs(absRelErr)
+	switch {
+	case e < 0.05:
+		return "<5%"
+	case e < 0.10:
+		return "<10%"
+	case e < 0.20:
+		return "<20%"
+	default:
+		return ">=20%"
+	}
+}
+
+// ErrorBandNames lists the ErrorBand labels in increasing-error order.
+func ErrorBandNames() []string { return []string{"<5%", "<10%", "<20%", ">=20%"} }
+
 // PartitionPoint is the throughput of one partitioning choice: Pavail
 // processors split into Jobs equal partitions each running an independent
 // simulation.

@@ -66,7 +66,14 @@ func (s *Sim) chanIndex(src, dst int32) int32 {
 		}
 	}
 	ci := int32(len(s.channels))
-	s.channels = append(s.channels, channel{})
+	if int(ci) < cap(s.channels) {
+		// Re-claim a slot left by Sim.Reset, keeping its ring buffers.
+		s.channels = s.channels[:ci+1]
+		s.channels[ci].msgs.clear()
+		s.channels[ci].recvs.clear()
+	} else {
+		s.channels = append(s.channels, channel{})
+	}
 	s.ranks[src].out = append(out, port{peer: dst, ch: ci})
 	return ci
 }
@@ -99,6 +106,9 @@ type ring struct {
 	head int32
 	n    int32
 }
+
+// clear empties the ring, keeping its backing array.
+func (q *ring) clear() { q.head, q.n = 0, 0 }
 
 // at returns the k-th element from the front, 0 ≤ k < n.
 func (q *ring) at(k int32) int32 {

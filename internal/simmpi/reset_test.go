@@ -1,0 +1,161 @@
+package simmpi_test
+
+// Tests of the Sim.Reset reuse API: a reset simulator must behave
+// bit-identically to a freshly constructed one (the campaign engine depends
+// on this for worker-count-independent results), and back-to-back runs of
+// the same configuration must be near-allocation-free so sweeps amortise
+// the pools of PR 1 across runs, not just within one.
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+	"repro/internal/simnet"
+)
+
+// freshRun simulates one iteration of bm at p ranks on a new Sim.
+func freshRun(t *testing.T, bm apps.Benchmark, p int) simmpi.Result {
+	t.Helper()
+	dec, err := grid.SquareDecomposition(bm.App.Grid, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := bm.Schedule(dec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := machine.XT4()
+	topo := simnet.NewTopology(mach.Params, dec.P(), simnet.GridPlacement(dec, mach))
+	sim := simmpi.New(topo)
+	for r, pr := range sched.Programs() {
+		sim.SetProgram(r, pr)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// resetRun simulates bm at p ranks on sim after a Reset.
+func resetRun(t *testing.T, sim *simmpi.Sim, bm apps.Benchmark, p int) simmpi.Result {
+	t.Helper()
+	dec, err := grid.SquareDecomposition(bm.App.Grid, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := bm.Schedule(dec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := machine.XT4()
+	topo := simnet.NewTopology(mach.Params, dec.P(), simnet.GridPlacement(dec, mach))
+	sim.Reset(topo)
+	for r, pr := range sched.Programs() {
+		sim.SetProgram(r, pr)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func sameResult(t *testing.T, name string, a, b simmpi.Result) {
+	t.Helper()
+	if a.Time != b.Time || a.Events != b.Events || a.Sends != b.Sends ||
+		a.Recvs != b.Recvs || a.BytesSent != b.BytesSent ||
+		a.BusWait != b.BusWait || a.BusBusy != b.BusBusy ||
+		a.BusRequests != b.BusRequests || a.BusQueued != b.BusQueued {
+		t.Errorf("%s: reset run diverged from fresh run:\n fresh %+v\n reset %+v", name, a, b)
+	}
+	for i := range a.RankFinish {
+		if a.RankFinish[i] != b.RankFinish[i] {
+			t.Fatalf("%s: rank %d finish diverged: %x vs %x", name, i, a.RankFinish[i], b.RankFinish[i])
+		}
+	}
+}
+
+// TestResetBitIdentical reuses one Sim across the three paper benchmarks at
+// varying rank counts — shrinking and growing the rank array, re-shaping the
+// channel tables — and demands each run match a fresh simulator to the last
+// bit.
+func TestResetBitIdentical(t *testing.T) {
+	g := grid.Cube(24)
+	cases := []struct {
+		name string
+		bm   apps.Benchmark
+		p    int
+	}{
+		{"sweep3d-16", apps.Sweep3D(g, 2), 16},
+		{"lu-64", apps.LU(g), 64},
+		{"chimaera-4", apps.Chimaera(g, 1), 4},
+		{"sweep3d-36", apps.Sweep3D(g, 2), 36},
+	}
+	mach := machine.XT4()
+	seed := simnet.NewTopology(mach.Params, 4, simnet.SpreadPlacement())
+	sim := simmpi.New(seed)
+	for r := 0; r < 4; r++ {
+		sim.SetProgram(r, simmpi.Ops(simmpi.AllReduce(8)))
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		sameResult(t, tc.name, freshRun(t, tc.bm, tc.p), resetRun(t, sim, tc.bm, tc.p))
+	}
+}
+
+// TestResetAllocsNearZero is the reuse contract: once a Sim has run a
+// configuration, re-running it after Reset must allocate near zero — a
+// couple of Result slices, nothing proportional to events or messages.
+func TestResetAllocsNearZero(t *testing.T) {
+	const ranks = 16
+	const rounds = 50
+	mach := machine.XT4()
+	topo := simnet.NewTopology(mach.Params, ranks, simnet.LinearPlacement(mach))
+	// A neighbour ring of eager and rendezvous traffic with interleaved
+	// compute, exercising pools, rings and the bus without all-reduce
+	// generations (which allocate by design, once per generation).
+	progs := make([]*simmpi.SliceProgram, ranks)
+	for r := 0; r < ranks; r++ {
+		next := (r + 1) % ranks
+		prev := (r + ranks - 1) % ranks
+		var ops []simmpi.Op
+		for i := 0; i < rounds; i++ {
+			ops = append(ops,
+				simmpi.Compute(1.5),
+				simmpi.Send(next, 512),
+				simmpi.Recv(prev),
+				simmpi.Send(next, 4096),
+				simmpi.Recv(prev),
+			)
+		}
+		progs[r] = simmpi.Ops(ops...)
+	}
+	sim := simmpi.New(topo)
+	var events uint64
+	run := func() {
+		topo.Reset()
+		sim.Reset(topo)
+		for r, p := range progs {
+			p.Rewind()
+			sim.SetProgram(r, p)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = res.Events
+	}
+	run() // first run grows the pools
+	allocs := testing.AllocsPerRun(10, run)
+	t.Logf("%.1f allocs per re-run over %d events", allocs, events)
+	// Result carries two fresh per-rank slices; everything else must reuse.
+	if allocs > 8 {
+		t.Errorf("reset run allocates too much: %.1f allocs/run, want ≤ 8", allocs)
+	}
+}

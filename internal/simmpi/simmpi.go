@@ -91,6 +91,10 @@ func (p *SliceProgram) Next() (Op, bool) {
 	return op, true
 }
 
+// Rewind returns the program to its first operation so it can be replayed
+// by a reused simulator (see Sim.Reset).
+func (p *SliceProgram) Rewind() { p.pos = 0 }
+
 // FuncProgram adapts a generator function to the Program interface.
 type FuncProgram func() (Op, bool)
 
@@ -139,7 +143,10 @@ type Tracer interface {
 	Span(rank int, op OpKind, peer, bytes int, start, end float64)
 }
 
-// Sim is a configured simulation instance. A Sim may be run once.
+// Sim is a configured simulation instance. A Sim may be run once; call
+// Reset to rebind it to a (possibly different) topology and run it again
+// reusing the event heap, message pools and channel tables of the previous
+// run.
 type Sim struct {
 	eng    des.Engine
 	topo   *simnet.Topology
@@ -199,6 +206,41 @@ func New(topo *simnet.Topology) *Sim {
 	}
 	s.eng.SetHandler(s.handle)
 	return s
+}
+
+// Reset prepares the Sim for another run over the given topology,
+// retaining the capacity of every internal pool — the event heap, the
+// message and receive-request free lists, the channel rings and the
+// per-rank tables — so that back-to-back simulations of similar size
+// perform near-zero heap allocations after the first. All programs and the
+// tracer are cleared; a reset Sim behaves bit-identically to a freshly
+// constructed one. The topology must itself be fresh or Reset (its buses
+// start a new virtual time axis).
+func (s *Sim) Reset(topo *simnet.Topology) {
+	s.eng.Reset()
+	s.topo = topo
+	s.par = topo.Params
+	n := topo.Ranks()
+	if n <= cap(s.ranks) {
+		s.ranks = s.ranks[:n]
+	} else {
+		old := s.ranks
+		s.ranks = make([]rankState, n)
+		copy(s.ranks, old) // carry over the allocated out tables
+	}
+	for i := range s.ranks {
+		out := s.ranks[i].out
+		s.ranks[i] = rankState{id: int32(i), out: out[:0]}
+	}
+	// Truncating (not clearing) keeps backing arrays; chanIndex re-claims
+	// channel slots ring buffers included, and AllocSlot repopulates the
+	// pools in the same order a fresh Sim would.
+	s.channels = s.channels[:0]
+	s.msgs, s.msgFree = s.msgs[:0], s.msgFree[:0]
+	s.reqs, s.reqFree = s.reqs[:0], s.reqFree[:0]
+	s.arGens = s.arGens[:0]
+	s.tracer = nil
+	s.running, s.sends, s.recvs, s.bytes = 0, 0, 0, 0
 }
 
 // SetProgram assigns rank r's program.

@@ -106,6 +106,15 @@ func NewTopology(p logp.Params, ranks int, place Placement) *Topology {
 	return t
 }
 
+// Reset returns every shared-bus resource to the idle, zero-statistics
+// state so the topology can serve a fresh simulation on a new virtual time
+// axis. Placement and parameters are immutable and survive the reset.
+func (t *Topology) Reset() {
+	for i := range t.buses {
+		t.buses[i] = des.Resource{}
+	}
+}
+
 // Ranks returns the number of ranks in the topology.
 func (t *Topology) Ranks() int { return t.ranks }
 

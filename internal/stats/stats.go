@@ -1,11 +1,13 @@
 // Package stats provides the small statistical utilities used by the
-// parameter-fitting and validation machinery: least-squares linear fits,
-// relative-error summaries and simple aggregates.
+// parameter-fitting, validation and campaign machinery: least-squares
+// linear fits, relative-error summaries, simple aggregates, a streaming
+// single-pass aggregator and percentile estimation.
 package stats
 
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // LinearFit returns the least-squares line y = a + b·x through the points.
@@ -84,6 +86,93 @@ func Min(xs []float64) float64 {
 		}
 	}
 	return m
+}
+
+// Stream is a single-pass streaming aggregator: count, sum, extrema and
+// Welford-updated mean/variance. The zero value is an empty stream. It is
+// the building block of campaign per-dimension summaries, where thousands
+// of run results are folded without retaining them.
+type Stream struct {
+	n        int
+	mean, m2 float64
+	sum      float64
+	min, max float64
+}
+
+// Add folds one observation into the stream.
+func (s *Stream) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	s.sum += x
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Stream) N() int { return s.n }
+
+// Sum returns the running sum; zero for an empty stream.
+func (s *Stream) Sum() float64 { return s.sum }
+
+// Mean returns the running mean; zero for an empty stream.
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation; zero for an empty stream.
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest observation; zero for an empty stream.
+func (s *Stream) Max() float64 { return s.max }
+
+// Var returns the population variance; zero with fewer than two
+// observations.
+func (s *Stream) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// Std returns the population standard deviation.
+func (s *Stream) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of xs by linear
+// interpolation between order statistics. It panics on an empty slice or a
+// p outside [0, 1]; xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	return Percentiles(xs, p)[0]
+}
+
+// Percentiles returns the quantiles of xs at each p in ps, sharing one sort
+// of a copy of xs across all of them.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	if len(xs) == 0 {
+		panic("stats: percentile of empty slice")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			panic(fmt.Sprintf("stats: percentile %v outside [0, 1]", p))
+		}
+		pos := p * float64(len(sorted)-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		frac := pos - float64(lo)
+		out[i] = sorted[lo] + frac*(sorted[hi]-sorted[lo])
+	}
+	return out
 }
 
 // ErrorSummary aggregates relative errors between prediction/measurement

@@ -125,3 +125,54 @@ func TestSummarizePanicsOnMismatch(t *testing.T) {
 	}()
 	Summarize([]float64{1}, []float64{1, 2})
 }
+
+func TestStream(t *testing.T) {
+	var s Stream
+	xs := []float64{4, 1, 9, 2, 2}
+	for _, x := range xs {
+		s.Add(x)
+	}
+	if s.N() != 5 || s.Sum() != 18 || s.Min() != 1 || s.Max() != 9 {
+		t.Errorf("aggregates wrong: n=%d sum=%v min=%v max=%v", s.N(), s.Sum(), s.Min(), s.Max())
+	}
+	if math.Abs(s.Mean()-3.6) > 1e-12 {
+		t.Errorf("mean = %v, want 3.6", s.Mean())
+	}
+	// Population variance of {4,1,9,2,2} is 8.24.
+	if math.Abs(s.Var()-8.24) > 1e-9 {
+		t.Errorf("var = %v, want 8.24", s.Var())
+	}
+	var empty Stream
+	if empty.N() != 0 || empty.Mean() != 0 || empty.Var() != 0 {
+		t.Error("zero-value stream not empty")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	got := Percentiles(xs, 0, 0.25, 0.5, 0.9, 1)
+	want := []float64{1, 2, 3, 4.6, 5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("p=%v: got %v, want %v", []float64{0, 0.25, 0.5, 0.9, 1}[i], got[i], want[i])
+		}
+	}
+	if xs[0] != 5 {
+		t.Error("input slice was mutated")
+	}
+	if Percentile([]float64{7}, 0.5) != 7 {
+		t.Error("single-element percentile")
+	}
+	mustPanic(t, func() { Percentile(nil, 0.5) })
+	mustPanic(t, func() { Percentile(xs, 1.5) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
