@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -97,6 +98,22 @@ func main() {
 		return
 	}
 
+	// Open the output before executing: an unwritable -out path must fail
+	// here, not after minutes of sweeping. Parent directories are created.
+	var outFile *os.File
+	if *out != "" {
+		if dir := filepath.Dir(*out); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fail(fmt.Errorf("creating output directory: %w", err))
+			}
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(fmt.Errorf("opening -out: %w", err))
+		}
+		outFile = f
+	}
+
 	eng := campaign.Engine{Workers: *workers}
 	if !*quiet {
 		eng.Progress = func(done, total int) {
@@ -113,10 +130,10 @@ func main() {
 	wall := time.Since(start)
 	if err != nil {
 		// Write what completed before failing: partial JSONL aids triage.
-		writeOut(*out, results)
+		writeOut(outFile, results)
 		fail(err)
 	}
-	writeOut(*out, results)
+	writeOut(outFile, results)
 
 	if !*quiet {
 		campaign.RenderSummary(os.Stdout, spec.Name, results, campaign.Summarize(results))
@@ -129,14 +146,10 @@ func main() {
 	}
 }
 
-// writeOut writes the JSONL file when -out was given.
-func writeOut(path string, results []campaign.RunResult) {
-	if path == "" {
+// writeOut writes the JSONL results to the pre-opened -out file, if any.
+func writeOut(f *os.File, results []campaign.RunResult) {
+	if f == nil {
 		return
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		fail(err)
 	}
 	if err := campaign.WriteJSONL(f, results); err != nil {
 		fail(err)

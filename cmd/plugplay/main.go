@@ -86,7 +86,8 @@ func main() {
 	check(err)
 	sched, err := bmSim.Schedule(dec, *iters)
 	check(err)
-	topo := simnet.NewTopology(mach.Params, dec.P(), simnet.GridPlacement(dec, mach))
+	topo, err := simnet.NewMachineTopology(mach, dec)
+	check(err)
 	sim := simmpi.New(topo)
 	for r, prog := range sched.Programs() {
 		sim.SetProgram(r, prog)

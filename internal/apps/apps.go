@@ -14,6 +14,7 @@ package apps
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/grid"
@@ -162,6 +163,32 @@ func Custom(name string, g grid.Grid, wg, wgPre float64, htile int,
 		Iterations:   iterations,
 	}.FromCorners(corners)
 	return Benchmark{App: app, Corners: corners, InterOps: interOps}
+}
+
+// Preset resolves a named paper benchmark ("lu", "sweep3d" or "chimaera",
+// case-insensitive) on the given grid. A non-positive htile selects the
+// benchmark's default tile height (LU 1, Sweep3D 2, Chimaera 1) — the one
+// policy shared by every preset-taking surface (campaign specs, topoplan).
+func Preset(name string, g grid.Grid, htile int) (Benchmark, error) {
+	switch strings.ToLower(name) {
+	case "lu":
+		bm := LU(g)
+		if htile > 0 {
+			bm = bm.WithHtile(htile)
+		}
+		return bm, nil
+	case "sweep3d":
+		if htile <= 0 {
+			htile = 2
+		}
+		return Sweep3D(g, htile), nil
+	case "chimaera":
+		if htile <= 0 {
+			htile = 1
+		}
+		return Chimaera(g, htile), nil
+	}
+	return Benchmark{}, fmt.Errorf("apps: unknown app preset %q (want lu, sweep3d or chimaera)", name)
 }
 
 // WithHtile returns a copy of the benchmark with a different tile height.

@@ -1,6 +1,9 @@
 package campaign
 
-import "repro/internal/config"
+import (
+	"repro/internal/config"
+	"repro/internal/topo"
+)
 
 // Example returns a small built-in campaign (24 runs, a couple of seconds)
 // that demonstrates every dimension: two paper benchmarks, single- and
@@ -29,9 +32,10 @@ func Example() Spec {
 }
 
 // Flagship returns the full design-space sweep: the three paper benchmarks
-// on a 48³ grid across four node designs (1–8 cores per shared bus), five
-// rank counts and four network perturbations — 240 runs asking at once the
-// kinds of questions Sections 5.1–5.5 ask one figure at a time.
+// on a 48³ grid across four node designs (1–8 cores per shared bus) plus
+// torus- and fat-tree-connected dual-core nodes, five rank counts and four
+// network perturbations — 360 runs asking at once the kinds of questions
+// Sections 5.1–5.5 ask one figure at a time.
 func Flagship() Spec {
 	g := config.GridSpec{Nx: 48, Ny: 48, Nz: 48}
 	return Spec{
@@ -47,6 +51,10 @@ func Flagship() Spec {
 			{MachineSpec: config.MachineSpec{Preset: "xt4", CoresPerNode: 2}},
 			{MachineSpec: config.MachineSpec{Preset: "xt4", CoresPerNode: 4}},
 			{MachineSpec: config.MachineSpec{Preset: "xt4", CoresPerNode: 8}},
+			{MachineSpec: config.MachineSpec{Preset: "xt4", CoresPerNode: 2,
+				Interconnect: &topo.Spec{Kind: topo.Torus2D}}},
+			{MachineSpec: config.MachineSpec{Preset: "xt4", CoresPerNode: 2,
+				Interconnect: &topo.Spec{Kind: topo.FatTree}}},
 		},
 		Ranks: []int{16, 36, 64, 144, 256},
 		LogGP: []ParamOverride{
@@ -58,6 +66,37 @@ func Flagship() Spec {
 	}
 }
 
+// Topologies returns the interconnect comparison sweep: the flat-wire
+// (bus-only) network of the paper against a 2D torus and a two-level
+// fat-tree, over two paper benchmarks and three rank counts. It asks the
+// Table 6 abstraction-error question for richer networks: how far does the
+// uncontended LogGP model drift from a simulator that routes every off-node
+// DMA over contended links?
+func Topologies() Spec {
+	g := config.GridSpec{Nx: 32, Ny: 32, Nz: 32}
+	dual := func(ic *topo.Spec, label string) MachineDim {
+		return MachineDim{
+			MachineSpec: config.MachineSpec{Preset: "xt4", CoresPerNode: 2, Interconnect: ic},
+			Label:       label,
+		}
+	}
+	return Spec{
+		Name:       "topologies",
+		Iterations: 1,
+		Apps: []AppDim{
+			{Preset: "sweep3d", Grid: &g},
+			{Preset: "lu", Grid: &g},
+		},
+		Machines: []MachineDim{
+			dual(nil, "xt4 dual, bus-only"),
+			dual(&topo.Spec{Kind: topo.Torus2D}, "xt4 dual, torus2d"),
+			dual(&topo.Spec{Kind: topo.Torus3D}, "xt4 dual, torus3d"),
+			dual(&topo.Spec{Kind: topo.FatTree}, "xt4 dual, fattree"),
+		},
+		Ranks: []int{16, 64, 256},
+	}
+}
+
 // Builtin resolves a built-in spec by name; ok is false for unknown names.
 func Builtin(name string) (Spec, bool) {
 	switch name {
@@ -65,9 +104,11 @@ func Builtin(name string) (Spec, bool) {
 		return Example(), true
 	case "flagship":
 		return Flagship(), true
+	case "topologies":
+		return Topologies(), true
 	}
 	return Spec{}, false
 }
 
 // BuiltinNames lists the built-in campaign names.
-func BuiltinNames() []string { return []string{"example", "flagship"} }
+func BuiltinNames() []string { return []string{"example", "flagship", "topologies"} }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/logp"
 	"repro/internal/machine"
+	"repro/internal/topo"
 )
 
 // Spec is the JSON-loadable description of a campaign: every combination of
@@ -172,27 +173,9 @@ func (d AppDim) resolve() (apps.Benchmark, error) {
 				d.Preset, d.Grid.Nx, d.Grid.Ny, d.Grid.Nz)
 		}
 		g := grid.NewGrid(d.Grid.Nx, d.Grid.Ny, d.Grid.Nz)
-		var bm apps.Benchmark
-		switch strings.ToLower(d.Preset) {
-		case "lu":
-			bm = apps.LU(g)
-		case "sweep3d":
-			h := d.Htile
-			if h <= 0 {
-				h = 2
-			}
-			return apps.Sweep3D(g, h), nil
-		case "chimaera":
-			h := d.Htile
-			if h <= 0 {
-				h = 1
-			}
-			return apps.Chimaera(g, h), nil
-		default:
-			return zero, fmt.Errorf("campaign: unknown app preset %q (want lu, sweep3d or chimaera)", d.Preset)
-		}
-		if d.Htile > 0 {
-			bm = bm.WithHtile(d.Htile)
+		bm, err := apps.Preset(d.Preset, g, d.Htile)
+		if err != nil {
+			return zero, fmt.Errorf("campaign: %w", err)
 		}
 		return bm, nil
 	case d.Spec != nil:
@@ -220,6 +203,9 @@ func (d MachineDim) resolve() (machine.Machine, string, error) {
 		label = m.Name
 		if m.BusGroups > 1 {
 			label = fmt.Sprintf("%s, %d buses", label, m.BusGroups)
+		}
+		if m.Interconnect.Kind != topo.Bus {
+			label = fmt.Sprintf("%s, %s", label, m.Interconnect)
 		}
 	}
 	return m, label, nil

@@ -297,8 +297,11 @@ func TestBuiltins(t *testing.T) {
 		if name == "example" && len(runs) != 24 {
 			t.Errorf("example has %d runs, want 24", len(runs))
 		}
-		if name == "flagship" && len(runs) < 200 {
-			t.Errorf("flagship has %d runs, want ≥ 200", len(runs))
+		if name == "flagship" && len(runs) < 300 {
+			t.Errorf("flagship has %d runs, want ≥ 300", len(runs))
+		}
+		if name == "topologies" && len(runs) != 24 {
+			t.Errorf("topologies has %d runs, want 24", len(runs))
 		}
 	}
 	if _, ok := Builtin("nope"); ok {

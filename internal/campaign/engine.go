@@ -31,6 +31,11 @@ type RunResult struct {
 	P          int    `json:"p"`
 	Iterations int    `json:"iterations"`
 
+	// Topology names the inter-node fabric for non-flat-wire machines.
+	// It is omitted (with the link counters below) on bus-only runs so
+	// their JSONL rows stay byte-identical to the pre-interconnect output.
+	Topology string `json:"topology,omitempty"`
+
 	ModelMicros float64 `json:"model_us"`
 	SimMicros   float64 `json:"sim_us"`
 	RelErr      float64 `json:"rel_err"` // signed, (model − sim)/sim
@@ -42,6 +47,11 @@ type RunResult struct {
 	Messages  uint64  `json:"messages"`
 	BytesSent uint64  `json:"bytes_sent"`
 	BusWait   float64 `json:"bus_wait_us"`
+
+	// Interconnect link contention (zero and omitted for bus-only runs).
+	LinkWait    float64 `json:"link_wait_us,omitempty"`
+	LinkQueued  uint64  `json:"link_queued,omitempty"`
+	MaxLinkUtil float64 `json:"max_link_util,omitempty"`
 
 	Error string `json:"error,omitempty"`
 
@@ -156,7 +166,10 @@ func executeRun(r Run, simp **simmpi.Sim) RunResult {
 	if err != nil {
 		return fail(err)
 	}
-	topo := simnet.NewTopology(r.mach.Params, r.dec.P(), simnet.GridPlacement(r.dec, r.mach))
+	topo, err := simnet.NewMachineTopology(r.mach, r.dec)
+	if err != nil {
+		return fail(err)
+	}
 	if *simp == nil {
 		*simp = simmpi.New(topo)
 	} else {
@@ -181,6 +194,14 @@ func executeRun(r Run, simp **simmpi.Sim) RunResult {
 	out.Messages = res.Sends
 	out.BytesSent = res.BytesSent
 	out.BusWait = res.BusWait
+	if ic := topo.Interconnect(); ic != nil {
+		out.Topology = ic.Spec().String()
+		out.LinkWait = res.LinkWait
+		out.LinkQueued = res.LinkQueued
+		if res.Time > 0 {
+			out.MaxLinkUtil = ic.MaxLinkBusy() / res.Time
+		}
+	}
 	out.WallSeconds = time.Since(start).Seconds()
 	return out
 }

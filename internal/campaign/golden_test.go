@@ -1,0 +1,79 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestExampleGoldenJSONL pins the built-in example campaign's JSONL output
+// to the bytes produced before the interconnect subsystem landed
+// (testdata/example_golden.jsonl, recorded at commit 5099c2d). The example
+// sweep is entirely bus-only, so every row must stay byte-identical: the
+// interconnect must cost bus-only runs nothing — no timing drift, no new
+// JSON fields, no encoding changes.
+//
+// To bless an intentional output change, regenerate the file with
+//
+//	go run ./cmd/campaign -builtin example -workers 4 -quiet \
+//	    -out internal/campaign/testdata/example_golden.jsonl
+//
+// and explain the drift in the commit message.
+func TestExampleGoldenJSONL(t *testing.T) {
+	want, err := os.ReadFile("testdata/example_golden.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Engine{Workers: 4}.ExecuteSpec(Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+	if bytes.Equal(got, want) {
+		return
+	}
+	gotRows, wantRows := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+	for i := range wantRows {
+		if i >= len(gotRows) {
+			t.Fatalf("output truncated at row %d of %d", i, len(wantRows))
+		}
+		if !bytes.Equal(gotRows[i], wantRows[i]) {
+			t.Fatalf("row %d drifted from the pre-interconnect golden:\n got: %s\nwant: %s",
+				i, gotRows[i], wantRows[i])
+		}
+	}
+	t.Fatalf("output grew from %d to %d rows", len(wantRows), len(gotRows))
+}
+
+// TestTopologiesDeterministicAcrossWorkers is the acceptance check of the
+// interconnect sweep: byte-identical JSONL for 1 and 8 workers, link
+// statistics included.
+func TestTopologiesDeterministicAcrossWorkers(t *testing.T) {
+	runs, err := Topologies().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	encode := func(workers int) []byte {
+		res, err := Engine{Workers: workers}.Execute(runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := encode(1)
+	if !bytes.Contains(serial, []byte(`"topology":"torus2d"`)) ||
+		!bytes.Contains(serial, []byte(`"topology":"fattree"`)) {
+		t.Fatal("topologies sweep rows carry no topology field")
+	}
+	if par := encode(8); !bytes.Equal(serial, par) {
+		t.Error("workers=8 produced different JSONL bytes than workers=1")
+	}
+}

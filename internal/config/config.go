@@ -20,6 +20,7 @@ import (
 	"repro/internal/logp"
 	"repro/internal/machine"
 	"repro/internal/simmpi"
+	"repro/internal/topo"
 	"repro/internal/wavefront"
 )
 
@@ -77,6 +78,10 @@ type MachineSpec struct {
 	Params       *logp.Params `json:"params,omitempty"`
 	CoresPerNode int          `json:"cores_per_node"`
 	BusGroups    int          `json:"bus_groups,omitempty"`
+	// Interconnect selects the inter-node fabric, e.g.
+	// {"kind": "torus2d", "dims": [6, 6]} or {"kind": "fattree",
+	// "leaf_radix": 4, "spine": 4}. Omitted means the paper's flat wire.
+	Interconnect *topo.Spec `json:"interconnect,omitempty"`
 }
 
 // ParseCorner converts a corner name to grid.Corner.
@@ -196,6 +201,9 @@ func (s MachineSpec) Machine() (machine.Machine, error) {
 		Cx:           cx,
 		Cy:           cy,
 		BusGroups:    groups,
+	}
+	if s.Interconnect != nil {
+		m.Interconnect = *s.Interconnect
 	}
 	if err := m.Validate(); err != nil {
 		return machine.Machine{}, err

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/machine"
+	"repro/internal/topo"
 )
 
 func TestExampleRoundTrips(t *testing.T) {
@@ -182,5 +183,36 @@ func TestMachineSpecs(t *testing.T) {
 	}
 	if m.CoresPerNode != 1 {
 		t.Errorf("default cores = %d", m.CoresPerNode)
+	}
+}
+
+// TestMachineSpecInterconnect: the interconnect block parses into the
+// machine, and invalid or unknown specs are rejected strictly.
+func TestMachineSpecInterconnect(t *testing.T) {
+	var spec MachineSpec
+	err := DecodeStrict([]byte(`{
+	  "preset": "xt4", "cores_per_node": 2,
+	  "interconnect": {"kind": "torus2d", "dims": [6, 6], "hop_l": 0.1}
+	}`), &spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := spec.Machine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Interconnect.Kind != topo.Torus2D || len(m.Interconnect.Dims) != 2 || m.Interconnect.HopL != 0.1 {
+		t.Errorf("interconnect = %+v", m.Interconnect)
+	}
+	if !strings.Contains(m.String(), "torus2d[6x6]") {
+		t.Errorf("machine string %q misses the fabric", m)
+	}
+
+	if err := DecodeStrict([]byte(`{"preset": "xt4", "interconnect": {"kind": "hypercube"}}`), &spec); err == nil {
+		t.Error("unknown interconnect kind accepted")
+	}
+	bad := MachineSpec{Preset: "xt4", CoresPerNode: 2, Interconnect: &topo.Spec{Kind: topo.Torus3D, Dims: []int{2, 2}}}
+	if _, err := bad.Machine(); err == nil {
+		t.Error("torus3d with 2 dims accepted")
 	}
 }

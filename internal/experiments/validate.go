@@ -34,12 +34,17 @@ type ValidationPoint struct {
 
 // SimulateBenchmark runs iters iterations of the benchmark on the
 // discrete-event simulator and returns the virtual execution time in µs.
+// The machine's interconnect spec, if any, is honoured: off-node traffic
+// then routes over contended torus or fat-tree links.
 func SimulateBenchmark(bm apps.Benchmark, mach machine.Machine, dec grid.Decomposition, iters int) (simmpi.Result, error) {
 	sched, err := bm.WithIterations(iters).Schedule(dec, iters)
 	if err != nil {
 		return simmpi.Result{}, err
 	}
-	topo := simnet.NewTopology(mach.Params, dec.P(), simnet.GridPlacement(dec, mach))
+	topo, err := simnet.NewMachineTopology(mach, dec)
+	if err != nil {
+		return simmpi.Result{}, err
+	}
 	sim := simmpi.New(topo)
 	for r, p := range sched.Programs() {
 		sim.SetProgram(r, p)

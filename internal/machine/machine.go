@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/logp"
+	"repro/internal/topo"
 )
 
 // Machine is a parallel platform configuration.
@@ -26,6 +27,18 @@ type Machine struct {
 	// a 16-core node "provisioned with a separate shared bus, shared memory,
 	// and NIC for each group of 4 cores", i.e. BusGroups = 4.
 	BusGroups int
+	// Interconnect describes the inter-node fabric. The zero value is the
+	// paper's flat-wire assumption (uncontended LogGP between nodes); torus
+	// and fat-tree specs route off-node traffic over explicit contended
+	// links (internal/topo).
+	Interconnect topo.Spec
+}
+
+// WithInterconnect returns a copy of the machine using the given inter-node
+// fabric.
+func (m Machine) WithInterconnect(spec topo.Spec) Machine {
+	m.Interconnect = spec
+	return m
 }
 
 // XT4 returns the dual-core Cray XT4 configuration used throughout the
@@ -134,6 +147,9 @@ func (m Machine) Validate() error {
 		return fmt.Errorf("machine %q: %d cores cannot form %d bus groups",
 			m.Name, m.CoresPerNode, m.BusGroups)
 	}
+	if err := m.Interconnect.Validate(); err != nil {
+		return fmt.Errorf("machine %q: %w", m.Name, err)
+	}
 	return nil
 }
 
@@ -168,6 +184,10 @@ func (m Machine) ContentionFactor() float64 {
 
 // String implements fmt.Stringer.
 func (m Machine) String() string {
-	return fmt.Sprintf("%s [%d cores/node as %dx%d, %d bus group(s), %s]",
+	s := fmt.Sprintf("%s [%d cores/node as %dx%d, %d bus group(s), %s]",
 		m.Name, m.CoresPerNode, m.Cx, m.Cy, m.BusGroups, m.Params.Name)
+	if m.Interconnect.Kind != topo.Bus {
+		s += " via " + m.Interconnect.String()
+	}
+	return s
 }

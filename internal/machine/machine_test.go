@@ -3,6 +3,8 @@ package machine
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/topo"
 )
 
 func TestStandardMachinesValidate(t *testing.T) {
@@ -92,6 +94,17 @@ func TestValidateRejectsInconsistent(t *testing.T) {
 	m.Params.L = -5
 	if err := m.Validate(); err == nil {
 		t.Error("invalid params accepted")
+	}
+	m = XT4().WithInterconnect(topo.Spec{Kind: topo.Torus2D, Dims: []int{4}})
+	if err := m.Validate(); err == nil {
+		t.Error("malformed interconnect accepted")
+	}
+	m = XT4().WithInterconnect(topo.Spec{Kind: topo.FatTree, LeafRadix: 8})
+	if err := m.Validate(); err != nil {
+		t.Errorf("fat-tree interconnect rejected: %v", err)
+	}
+	if !strings.Contains(m.String(), "fattree") {
+		t.Errorf("String() = %q misses the fabric", m)
 	}
 }
 

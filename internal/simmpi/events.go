@@ -60,11 +60,15 @@ func (s *Sim) handle(ev des.Event) {
 
 	case evEagerInject:
 		// Table 1(a) eq (1) continued: sender-side bus, then wire flight.
+		// With an interconnect attached the flight additionally routes over
+		// contended links (zero extra on the flat wire — bit-identical).
 		m := &s.msgs[ev.Arg0]
 		p := &s.par
 		inject := s.eng.Now()
 		wait := s.topo.AcquireBus(int(m.src), inject, int(m.bytes))
-		arrive := inject + wait + float64(m.bytes)*p.G + p.L
+		start := inject + wait
+		start += s.topo.AcquireLinks(int(m.src), int(m.dst), start, int(m.bytes))
+		arrive := start + float64(m.bytes)*p.G + p.L
 		s.eng.AtKind(arrive, evEagerArrive, ev.Arg0, 0)
 
 	case evEagerArrive:
@@ -97,7 +101,9 @@ func (s *Sim) handle(ev des.Event) {
 		inject := s.eng.Now()
 		wait := s.topo.AcquireBus(int(m.src), inject, int(m.bytes))
 		s.resumeAt(&s.ranks[m.src], inject+wait)
-		arrive := inject + wait + float64(m.bytes)*p.G + p.L
+		start := inject + wait
+		start += s.topo.AcquireLinks(int(m.src), int(m.dst), start, int(m.bytes))
+		arrive := start + float64(m.bytes)*p.G + p.L
 		s.eng.AtKind(arrive, evRdvArrive, ev.Arg0, 0)
 
 	case evRdvArrive:

@@ -9,7 +9,11 @@
 // and receiver share a node. Every off-node or on-chip DMA passes through
 // the owning node's shared bus (a FCFS resource, paper Section 4.3), so
 // multi-core message contention emerges from queueing rather than being a
-// closed-form term.
+// closed-form term. When the topology carries an inter-node interconnect
+// (internal/topo), off-node data segments additionally route across
+// contended torus or fat-tree links; small rendezvous control messages
+// (RTS/CTS) and the closed-form all-reduce stay on the latency-dominated
+// flat-wire model.
 //
 // The hot path is allocation-free: message lifetimes are an explicit
 // state machine of typed des events (events.go), message and receive
@@ -119,6 +123,10 @@ type Result struct {
 	// BusRequests/BusQueued/BusBusy/BusWait aggregate shared-bus contention.
 	BusRequests, BusQueued uint64
 	BusBusy, BusWait       float64
+	// LinkRequests/LinkQueued/LinkBusy/LinkWait aggregate interconnect link
+	// contention (internal/topo); all zero on the flat-wire network.
+	LinkRequests, LinkQueued uint64
+	LinkBusy, LinkWait       float64
 }
 
 // MaxComputeTime returns the largest per-rank compute time.
@@ -276,6 +284,7 @@ func (s *Sim) Run() (Result, error) {
 		Events:      s.eng.EventsRun(),
 	}
 	res.BusRequests, res.BusQueued, res.BusBusy, res.BusWait = s.topo.BusStats()
+	res.LinkRequests, res.LinkQueued, res.LinkBusy, res.LinkWait = s.topo.LinkStats()
 
 	var stuck []int
 	for i := range s.ranks {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/logp"
 	"repro/internal/machine"
+	"repro/internal/topo"
 )
 
 // Placement maps a logical rank to its node and to the bus group within
@@ -75,6 +76,7 @@ type Topology struct {
 	nodeOf  []int32
 	busOf   []int32 // global bus index
 	buses   []des.Resource
+	ic      *topo.Interconnect // nil: flat wire between nodes (paper model)
 }
 
 // NewTopology resolves a placement for the given number of ranks.
@@ -106,13 +108,55 @@ func NewTopology(p logp.Params, ranks int, place Placement) *Topology {
 	return t
 }
 
-// Reset returns every shared-bus resource to the idle, zero-statistics
-// state so the topology can serve a fresh simulation on a new virtual time
-// axis. Placement and parameters are immutable and survive the reset.
+// NewMachineTopology builds the complete hardware substrate of a machine
+// for a grid decomposition: rank placement onto its nodes and buses plus
+// its inter-node interconnect, if any. Every simulation surface that takes
+// a machine.Machine should construct its topology here — sites that call
+// NewTopology directly bypass the machine's interconnect spec.
+func NewMachineTopology(m machine.Machine, dec grid.Decomposition) (*Topology, error) {
+	t := NewTopology(m.Params, dec.P(), GridPlacement(dec, m))
+	if err := t.AttachInterconnect(m.Interconnect); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// AttachInterconnect instantiates an inter-node link fabric for the
+// topology's node count and routes every off-node message segment across it
+// (see AcquireLinks). The bus-only spec (topo.Spec{}) is a no-op, keeping
+// the flat-wire behaviour bit-identical.
+func (t *Topology) AttachInterconnect(spec topo.Spec) error {
+	if spec.Kind == topo.Bus {
+		t.ic = nil
+		return nil
+	}
+	nodes := 0
+	for _, n := range t.nodeOf {
+		if int(n) >= nodes {
+			nodes = int(n) + 1
+		}
+	}
+	ic, err := topo.New(spec, nodes, t.Params.G)
+	if err != nil {
+		return err
+	}
+	t.ic = ic
+	return nil
+}
+
+// Interconnect returns the attached link fabric, or nil for the flat-wire
+// network.
+func (t *Topology) Interconnect() *topo.Interconnect { return t.ic }
+
+// Reset returns every shared-bus resource (and every interconnect link) to
+// the idle, zero-statistics state so the topology can serve a fresh
+// simulation on a new virtual time axis. Placement and parameters are
+// immutable and survive the reset.
 func (t *Topology) Reset() {
 	for i := range t.buses {
 		t.buses[i] = des.Resource{}
 	}
+	t.ic.Reset()
 }
 
 // Ranks returns the number of ranks in the topology.
@@ -146,6 +190,25 @@ func (t *Topology) BusOccupancy(size int) float64 {
 // timelines.
 func (t *Topology) AcquireBus(r int, now float64, size int) (wait float64) {
 	return t.buses[t.busOf[r]].Acquire(now, t.BusOccupancy(size))
+}
+
+// AcquireLinks routes one off-node message segment of the given size from
+// rank a's node to rank b's node across the interconnect at virtual time
+// now, and returns the extra delay relative to the flat wire: link queueing
+// plus per-hop latency beyond the first hop. Without an attached
+// interconnect (or for same-node traffic) it returns exactly zero, so the
+// caller's timing arithmetic is bit-identical to the flat-wire model.
+func (t *Topology) AcquireLinks(a, b int, now float64, size int) float64 {
+	if t.ic == nil {
+		return 0
+	}
+	return t.ic.Acquire(int(t.nodeOf[a]), int(t.nodeOf[b]), now, size)
+}
+
+// LinkStats aggregates contention counters over all interconnect links;
+// all-zero for the flat-wire network.
+func (t *Topology) LinkStats() (requests, queued uint64, busy, waited float64) {
+	return t.ic.Stats()
 }
 
 // BusStats aggregates contention counters over all buses.
