@@ -1,0 +1,95 @@
+// Command collplan studies MPI collective algorithms on a simulated
+// machine: for each algorithm it reports the closed-form LogGP prediction,
+// the discrete-event completion time (point-to-point constituents contending
+// for node buses and interconnect links) and the model's abstraction error;
+// it then scans message sizes to locate the ring vs recursive-doubling
+// all-reduce crossover — the size above which the ring's P-times-smaller
+// chunks beat recursive doubling's fewer rounds.
+//
+// Usage:
+//
+//	collplan -ranks 64 -cores 2
+//	collplan -ranks 256 -cores 2 -topo torus2d -bytes 65536
+//	collplan -ranks 32 -topo fattree -minbytes 8 -maxbytes 4194304
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/coll"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 64, "MPI rank count")
+	cores := flag.Int("cores", 2, "cores per node")
+	topoName := flag.String("topo", "bus", "interconnect: bus, torus2d, torus3d or fattree")
+	bytes := flag.Int("bytes", 65536, "payload size for the per-algorithm table")
+	minBytes := flag.Int("minbytes", 8, "crossover scan start size")
+	maxBytes := flag.Int("maxbytes", 1<<20, "crossover scan end size")
+	flag.Parse()
+
+	if *minBytes <= 0 || *maxBytes < *minBytes {
+		fmt.Fprintf(os.Stderr, "collplan: invalid scan range [%d, %d]\n", *minBytes, *maxBytes)
+		os.Exit(1)
+	}
+	kind, err := topo.ParseKind(*topoName)
+	check(err)
+	mach, err := machine.XT4MultiCore(*cores)
+	check(err)
+	if kind != topo.Bus {
+		mach = mach.WithInterconnect(topo.Spec{Kind: kind})
+	}
+	fmt.Printf("# collectives over %d ranks on %s\n", *ranks, mach)
+
+	cs := []coll.Collective{
+		{Kind: coll.Bcast, Alg: simmpi.AlgBinomial, Bytes: *bytes},
+		{Kind: coll.Allreduce, Alg: simmpi.AlgRing, Bytes: *bytes},
+		{Kind: coll.Allreduce, Alg: simmpi.AlgRecDouble, Bytes: *bytes},
+		{Kind: coll.Barrier},
+	}
+	var runner coll.Runner
+	fmt.Printf("%-26s %12s %12s %10s %9s %13s %13s\n",
+		"collective", "model(µs)", "sim(µs)", "model err", "messages", "bus wait(µs)", "link wait(µs)")
+	for _, c := range cs {
+		res, err := runner.Run(mach, *ranks, c)
+		check(err)
+		model := c.Model(mach, *ranks)
+		fmt.Printf("%-26s %12.4g %12.4g %+9.2f%% %9d %13.4g %13.4g\n",
+			c.String(), model, res.Time,
+			100*stats.SignedRelErr(model, res.Time), res.Sends, res.BusWait, res.LinkWait)
+	}
+
+	var sizes []int
+	for s := *minBytes; s <= *maxBytes; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	pts, err := coll.CrossoverScan(mach, *ranks, sizes)
+	check(err)
+	fmt.Printf("\n# ring vs recursive-doubling all-reduce by payload size\n")
+	fmt.Printf("%10s %12s %12s %9s\n", "bytes", "ring(µs)", "recdbl(µs)", "winner")
+	for _, pt := range pts {
+		winner := "recdouble"
+		if pt.Ring <= pt.RecDouble {
+			winner = "ring"
+		}
+		fmt.Printf("%10d %12.4g %12.4g %9s\n", pt.Bytes, pt.Ring, pt.RecDouble, winner)
+	}
+	if cross := coll.Crossover(pts); cross >= 0 {
+		fmt.Printf("crossover: ring wins from %d bytes\n", cross)
+	} else {
+		fmt.Printf("crossover: recursive doubling wins across the scanned range\n")
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "collplan:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+// Collectives: walk through the collective-algorithm machinery of
+// internal/coll — simulate a convergence all-reduce with the ring and
+// recursive-doubling algorithms across payload sizes, locate the size at
+// which the ring's P-times-smaller chunks overtake recursive doubling's
+// fewer rounds, and compare each algorithm's closed-form LogGP prediction
+// with the discrete-event simulation it abstracts.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/coll"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+	"repro/internal/stats"
+)
+
+func main() {
+	mach := machine.XT4()
+	const ranks = 32
+
+	// Ring pays 2(P−1) rounds of bytes/P chunks; recursive doubling pays
+	// log2(P) rounds of the full payload. Latency dominates small payloads
+	// (recursive doubling wins), bandwidth dominates large ones (ring wins).
+	fmt.Printf("all-reduce over %d ranks on %s:\n", ranks, mach.Name)
+	fmt.Printf("  %10s %12s %12s %10s\n", "bytes", "ring(µs)", "recdbl(µs)", "winner")
+	var sizes []int
+	for s := 8; s <= 1<<21; s *= 8 {
+		sizes = append(sizes, s)
+	}
+	pts, err := coll.CrossoverScan(mach, ranks, sizes)
+	if err != nil {
+		panic(err)
+	}
+	for _, pt := range pts {
+		winner := "recdouble"
+		if pt.Ring <= pt.RecDouble {
+			winner = "ring"
+		}
+		fmt.Printf("  %10d %12.4g %12.4g %10s\n", pt.Bytes, pt.Ring, pt.RecDouble, winner)
+	}
+	if cross := coll.Crossover(pts); cross >= 0 {
+		fmt.Printf("  → switch from recursive doubling to ring at ~%d bytes\n\n", cross)
+	} else {
+		fmt.Printf("  → recursive doubling wins across the whole range\n\n")
+	}
+
+	// Every algorithm also has a closed-form LogGP price; the difference
+	// against the simulation is the closed form's abstraction error.
+	fmt.Println("closed-form LogGP vs simulation, 64 KB payloads:")
+	for _, c := range []coll.Collective{
+		{Kind: coll.Bcast, Alg: simmpi.AlgBinomial, Bytes: 65536},
+		{Kind: coll.Allreduce, Alg: simmpi.AlgRing, Bytes: 65536},
+		{Kind: coll.Allreduce, Alg: simmpi.AlgRecDouble, Bytes: 65536},
+		{Kind: coll.Barrier},
+	} {
+		res, err := coll.Simulate(mach, ranks, c)
+		if err != nil {
+			panic(err)
+		}
+		model := c.Model(mach, ranks)
+		fmt.Printf("  %-26s model %10.4g µs  sim %10.4g µs  err %+6.2f%%\n",
+			c, model, res.Time, 100*stats.SignedRelErr(model, res.Time))
+	}
+	fmt.Println("\nenable a per-iteration convergence all-reduce in any app with" +
+		"\nBenchmark.WithConvergence, a config {\"convergence\": {...}} block, or a" +
+		"\ncampaign app dimension — see the \"collectives\" builtin campaign.")
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/coll"
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/simmpi"
@@ -44,6 +45,18 @@ type Benchmark struct {
 	core.App
 	Corners  []grid.Corner
 	InterOps func(dec grid.Decomposition) func(rank int) []simmpi.Op
+
+	// ConvBytes and ConvAlg, when ConvBytes > 0, add a per-iteration
+	// convergence all-reduce to both the simulator schedule and the
+	// analytic model (see WithConvergence). Zero means none — the paper's
+	// Table 3 configurations.
+	ConvBytes int
+	ConvAlg   simmpi.CollAlg
+
+	// nonWFBase is the benchmark's NonWavefront before WithConvergence
+	// wrapped it, so repeated WithConvergence calls replace the collective
+	// term instead of stacking terms the schedule does not execute.
+	nonWFBase func(core.Env) float64
 }
 
 // transportBytes returns the Table 3 boundary message size functions for a
@@ -212,6 +225,32 @@ func (b Benchmark) WithWg(wg, wgPre float64) Benchmark {
 	return b
 }
 
+// WithConvergence returns a copy that performs a per-iteration convergence
+// all-reduce of the given size executed by the given collective algorithm
+// (coll.ParseAlg names it; AlgAuto is the closed-form exchange, AlgRing and
+// AlgRecDouble the simulated algorithms of internal/coll). The analytic
+// model gains the matching closed-form term on top of the benchmark's
+// existing Tnonwavefront, so model-vs-simulator error remains a like-for-
+// like comparison. Calling it again replaces the previous convergence
+// collective in both the schedule and the model.
+func (b Benchmark) WithConvergence(bytes int, alg simmpi.CollAlg) Benchmark {
+	base := b.App.NonWavefront
+	if b.ConvBytes > 0 {
+		base = b.nonWFBase // unwrap the previous convergence term
+	}
+	b.nonWFBase = base
+	b.ConvBytes, b.ConvAlg = bytes, alg
+	c := coll.Collective{Kind: coll.Allreduce, Alg: alg, Bytes: bytes}
+	b.App.NonWavefront = func(e core.Env) float64 {
+		t := c.Model(e.Machine, e.P())
+		if base != nil {
+			t += base(e)
+		}
+		return t
+	}
+	return b
+}
+
 // Schedule builds the simulator schedule of one iteration batch of the
 // benchmark on the given decomposition.
 func (b Benchmark) Schedule(dec grid.Decomposition, iterations int) (*wavefront.Schedule, error) {
@@ -233,6 +272,8 @@ func (b Benchmark) Schedule(dec grid.Decomposition, iterations int) (*wavefront.
 		BytesNS:    b.App.NSBytes(dec, b.App.Htile),
 		Iterations: iterations,
 		InterOps:   inter,
+		ConvBytes:  b.ConvBytes,
+		ConvAlg:    b.ConvAlg,
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err

@@ -179,3 +179,29 @@ func TestGrindTimeConstant(t *testing.T) {
 		t.Errorf("Chimaera Wg = %v", got)
 	}
 }
+
+// TestWithConvergenceReplaces checks that repeated WithConvergence calls
+// replace the collective term rather than stacking: the analytic model must
+// match a single application of the final configuration, in both the
+// schedule and the NonWavefront closure.
+func TestWithConvergenceReplaces(t *testing.T) {
+	g := grid.Cube(24)
+	mach := machine.XT4()
+	dec := grid.MustDecompose(g, 4, 4)
+	env := core.Env{Machine: mach, Dec: dec, Htile: 2}
+
+	once := Sweep3D(g, 2).WithConvergence(4096, simmpi.AlgRing)
+	twice := Sweep3D(g, 2).
+		WithConvergence(65536, simmpi.AlgRecDouble).
+		WithConvergence(4096, simmpi.AlgRing)
+	if twice.ConvBytes != 4096 || twice.ConvAlg != simmpi.AlgRing {
+		t.Fatalf("replacement kept old knobs: %d bytes alg %d", twice.ConvBytes, twice.ConvAlg)
+	}
+	if got, want := twice.App.NonWavefront(env), once.App.NonWavefront(env); got != want {
+		t.Errorf("double WithConvergence model term %v, want %v (stacked, not replaced)", got, want)
+	}
+	base := Sweep3D(g, 2).App.NonWavefront(env)
+	if got := once.App.NonWavefront(env); got <= base {
+		t.Errorf("convergence term added nothing: %v vs base %v", got, base)
+	}
+}

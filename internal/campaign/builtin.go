@@ -97,6 +97,43 @@ func Topologies() Spec {
 	}
 }
 
+// Collectives returns the collective-algorithm sweep: the per-iteration
+// convergence all-reduce that LU-style codes end every iteration with,
+// executed by each algorithm — the closed-form exchange of paper equation
+// (9) ("auto"), the simulated ring, and simulated recursive doubling —
+// across bus-only, torus- and fat-tree-connected dual-core machines and
+// three rank counts. The same sweep at two payload sizes shows where the
+// ring's smaller chunks start paying for their extra rounds.
+func Collectives() Spec {
+	g := config.GridSpec{Nx: 24, Ny: 24, Nz: 24}
+	conv := func(alg string, bytes int) *config.ConvergenceSpec {
+		return &config.ConvergenceSpec{Bytes: bytes, Alg: alg}
+	}
+	dual := func(ic *topo.Spec, label string) MachineDim {
+		return MachineDim{
+			MachineSpec: config.MachineSpec{Preset: "xt4", CoresPerNode: 2, Interconnect: ic},
+			Label:       label,
+		}
+	}
+	return Spec{
+		Name:       "collectives",
+		Iterations: 2,
+		Apps: []AppDim{
+			{Preset: "lu", Grid: &g, Convergence: conv("auto", 8)},
+			{Preset: "lu", Grid: &g, Convergence: conv("ring", 8)},
+			{Preset: "lu", Grid: &g, Convergence: conv("recdouble", 8)},
+			{Preset: "sweep3d", Grid: &g, Convergence: conv("ring", 65536)},
+			{Preset: "sweep3d", Grid: &g, Convergence: conv("recdouble", 65536)},
+		},
+		Machines: []MachineDim{
+			dual(nil, "xt4 dual, bus-only"),
+			dual(&topo.Spec{Kind: topo.Torus2D}, "xt4 dual, torus2d"),
+			dual(&topo.Spec{Kind: topo.FatTree}, "xt4 dual, fattree"),
+		},
+		Ranks: []int{16, 36, 64},
+	}
+}
+
 // Builtin resolves a built-in spec by name; ok is false for unknown names.
 func Builtin(name string) (Spec, bool) {
 	switch name {
@@ -106,9 +143,13 @@ func Builtin(name string) (Spec, bool) {
 		return Flagship(), true
 	case "topologies":
 		return Topologies(), true
+	case "collectives":
+		return Collectives(), true
 	}
 	return Spec{}, false
 }
 
 // BuiltinNames lists the built-in campaign names.
-func BuiltinNames() []string { return []string{"example", "flagship", "topologies"} }
+func BuiltinNames() []string {
+	return []string{"example", "flagship", "topologies", "collectives"}
+}

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/coll"
 	"repro/internal/config"
 	"repro/internal/grid"
 	"repro/internal/logp"
@@ -59,6 +60,11 @@ type AppDim struct {
 	Htile int `json:"htile,omitempty"`
 	// Spec is a full custom application instead of a preset.
 	Spec *config.AppSpec `json:"spec,omitempty"`
+	// Convergence adds a per-iteration convergence all-reduce executed by a
+	// simulated collective algorithm (internal/coll). Sweeping the same
+	// preset with different algorithms is a legitimate app dimension: the
+	// algorithm is part of the run's identity.
+	Convergence *config.ConvergenceSpec `json:"convergence,omitempty"`
 }
 
 // MachineDim is one value of the machine dimension; it is a
@@ -161,6 +167,25 @@ func LoadSpec(path string) (Spec, error) {
 // resolveApp materialises one application dimension value.
 func (d AppDim) resolve() (apps.Benchmark, error) {
 	var zero apps.Benchmark
+	bm, err := d.resolveBase()
+	if err != nil {
+		return zero, err
+	}
+	if d.Convergence != nil {
+		if d.Spec != nil && d.Spec.Convergence != nil {
+			return zero, fmt.Errorf("campaign: custom app %q carries its own convergence spec — drop the outer one", d.Spec.Name)
+		}
+		bm, err = d.Convergence.Apply(bm)
+		if err != nil {
+			return zero, fmt.Errorf("campaign: %w", err)
+		}
+	}
+	return bm, nil
+}
+
+// resolveBase materialises the preset or custom spec of an app dimension.
+func (d AppDim) resolveBase() (apps.Benchmark, error) {
+	var zero apps.Benchmark
 	switch {
 	case d.Preset != "" && d.Spec != nil:
 		return zero, fmt.Errorf("campaign: app sets both preset %q and a custom spec — use one", d.Preset)
@@ -190,6 +215,15 @@ func (d AppDim) resolve() (apps.Benchmark, error) {
 	default:
 		return zero, fmt.Errorf("campaign: app needs a preset or a custom spec")
 	}
+}
+
+// collectiveLabel renders a benchmark's convergence collective for run
+// identity keys and JSONL rows; empty when none is configured.
+func collectiveLabel(bm apps.Benchmark) string {
+	if bm.ConvBytes <= 0 {
+		return ""
+	}
+	return coll.Collective{Kind: coll.Allreduce, Alg: bm.ConvAlg, Bytes: bm.ConvBytes}.String()
 }
 
 // resolveMachine materialises one machine dimension value and its label.
@@ -241,9 +275,10 @@ func (s Spec) Validate() error {
 		if err != nil {
 			return fmt.Errorf("%w (apps[%d])", err, i)
 		}
-		// Htile is part of the identity: sweeping tile heights of one
-		// benchmark (paper Figure 5) is a legitimate app dimension.
-		key := fmt.Sprintf("%s/%s/h%d", bm.App.Name, bm.App.Grid, bm.App.Htile)
+		// Htile and the convergence collective are part of the identity:
+		// sweeping tile heights (paper Figure 5) or collective algorithms
+		// of one benchmark are legitimate app dimensions.
+		key := fmt.Sprintf("%s/%s/h%d/%s", bm.App.Name, bm.App.Grid, bm.App.Htile, collectiveLabel(bm))
 		if seenApp[key] {
 			return fmt.Errorf("campaign: spec %q lists app %s twice", s.Name, key)
 		}
@@ -296,6 +331,9 @@ type Run struct {
 	Override   string
 	P          int
 	Iterations int
+	// Collective names the per-iteration convergence collective, e.g.
+	// "allreduce/ring/8B"; empty when the run has none.
+	Collective string
 
 	bm   apps.Benchmark
 	mach machine.Machine
@@ -304,7 +342,11 @@ type Run struct {
 
 // Key renders the run's coordinates for listings and error messages.
 func (r Run) Key() string {
-	return fmt.Sprintf("%s/%s/h%d × %s × %s × P=%d", r.App, r.Grid, r.Htile, r.Machine, r.Override, r.P)
+	app := fmt.Sprintf("%s/%s/h%d", r.App, r.Grid, r.Htile)
+	if r.Collective != "" {
+		app += "+" + r.Collective
+	}
+	return fmt.Sprintf("%s × %s × %s × P=%d", app, r.Machine, r.Override, r.P)
 }
 
 // Expand validates the spec and produces its deterministic run list in
@@ -348,6 +390,7 @@ func (s Spec) Expand() ([]Run, error) {
 						Override:   ov.Name,
 						P:          p,
 						Iterations: iters,
+						Collective: collectiveLabel(bm),
 						bm:         bm,
 						mach:       mach,
 					}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/config"
 	"repro/internal/logp"
 )
 
@@ -303,6 +304,16 @@ func TestBuiltins(t *testing.T) {
 		if name == "topologies" && len(runs) != 24 {
 			t.Errorf("topologies has %d runs, want 24", len(runs))
 		}
+		if name == "collectives" {
+			if len(runs) != 45 {
+				t.Errorf("collectives has %d runs, want 45", len(runs))
+			}
+			for _, r := range runs {
+				if r.Collective == "" {
+					t.Errorf("collectives run %s carries no collective", r.Key())
+				}
+			}
+		}
 	}
 	if _, ok := Builtin("nope"); ok {
 		t.Error("unknown builtin resolved")
@@ -334,6 +345,79 @@ func TestHtileSweep(t *testing.T) {
 	}
 	if res[0].SimMicros == res[1].SimMicros {
 		t.Error("different tile heights simulated identically")
+	}
+}
+
+// TestConvergenceSweep: the collective algorithm is a legitimate sweep
+// dimension — entries differing only in convergence algorithm are distinct
+// apps, their rows carry the collective label, and the simulated algorithms
+// produce different times.
+func TestConvergenceSweep(t *testing.T) {
+	s, err := ParseSpec([]byte(`{
+	  "name": "conv",
+	  "apps": [
+	    {"preset": "lu", "grid": {"nx": 12, "ny": 12, "nz": 12}},
+	    {"preset": "lu", "grid": {"nx": 12, "ny": 12, "nz": 12},
+	     "convergence": {"bytes": 65536, "alg": "ring"}},
+	    {"preset": "lu", "grid": {"nx": 12, "ny": 12, "nz": 12},
+	     "convergence": {"bytes": 65536, "alg": "recdouble"}}
+	  ],
+	  "machines": [{"preset": "xt4", "cores_per_node": 2}],
+	  "ranks": [9]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Engine{Workers: 2}.ExecuteSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d runs, want 3", len(res))
+	}
+	if res[0].Collective != "" ||
+		res[1].Collective != "allreduce/ring/65536B" ||
+		res[2].Collective != "allreduce/recdouble/65536B" {
+		t.Fatalf("collective labels: %q, %q, %q", res[0].Collective, res[1].Collective, res[2].Collective)
+	}
+	if res[1].SimMicros == res[2].SimMicros {
+		t.Error("ring and recursive-doubling convergence simulated identically")
+	}
+	if res[1].SimMicros <= res[0].SimMicros {
+		t.Error("a 64KB per-iteration all-reduce cost nothing")
+	}
+}
+
+// TestConvergenceConflicts rejects ambiguous convergence placement and
+// unknown algorithms.
+func TestConvergenceConflicts(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{
+	  "name": "bad", "ranks": [4],
+	  "machines": [{"preset": "xt4", "cores_per_node": 1}],
+	  "apps": [{"convergence": {"bytes": 8, "alg": "quantum"},
+	    "preset": "lu", "grid": {"nx": 12, "ny": 12, "nz": 12}}]
+	}`)); err == nil {
+		t.Error("unknown convergence algorithm accepted")
+	}
+	if _, err := ParseSpec([]byte(`{
+	  "name": "bad", "ranks": [4],
+	  "machines": [{"preset": "xt4", "cores_per_node": 1}],
+	  "apps": [{"convergence": {"bytes": 0}, "preset": "lu",
+	    "grid": {"nx": 12, "ny": 12, "nz": 12}}]
+	}`)); err == nil {
+		t.Error("non-positive convergence size accepted")
+	}
+	d := AppDim{
+		Spec: &config.AppSpec{
+			Name: "x",
+			Grid: config.GridSpec{Nx: 8, Ny: 8, Nz: 8}, Wg: 0.5, Htile: 1,
+			Corners: []string{"NW"}, Angles: 6, Iterations: 1,
+			Convergence: &config.ConvergenceSpec{Bytes: 8},
+		},
+		Convergence: &config.ConvergenceSpec{Bytes: 16},
+	}
+	if _, err := d.resolve(); err == nil {
+		t.Error("double convergence spec accepted")
 	}
 }
 

@@ -36,6 +36,11 @@ type RunResult struct {
 	// their JSONL rows stay byte-identical to the pre-interconnect output.
 	Topology string `json:"topology,omitempty"`
 
+	// Collective names the per-iteration convergence collective, e.g.
+	// "allreduce/ring/8B". It is omitted for runs without one so their
+	// rows stay byte-identical to pre-collectives output.
+	Collective string `json:"collective,omitempty"`
+
 	ModelMicros float64 `json:"model_us"`
 	SimMicros   float64 `json:"sim_us"`
 	RelErr      float64 `json:"rel_err"` // signed, (model − sim)/sim
@@ -150,6 +155,7 @@ func executeRun(r Run, simp **simmpi.Sim) RunResult {
 		Override:   r.Override,
 		P:          r.P,
 		Iterations: r.Iterations,
+		Collective: r.Collective,
 	}
 	fail := func(err error) RunResult {
 		out.Error = err.Error()

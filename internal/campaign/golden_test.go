@@ -2,8 +2,12 @@ package campaign
 
 import (
 	"bytes"
+	"encoding/json"
+	"maps"
 	"os"
 	"testing"
+
+	"repro/internal/config"
 )
 
 // TestExampleGoldenJSONL pins the built-in example campaign's JSONL output
@@ -76,4 +80,100 @@ func TestTopologiesDeterministicAcrossWorkers(t *testing.T) {
 	if par := encode(8); !bytes.Equal(serial, par) {
 		t.Error("workers=8 produced different JSONL bytes than workers=1")
 	}
+}
+
+// TestCollectivesDeterministicAcrossWorkers is the acceptance check of the
+// collective sweep: the "collectives" builtin — every simulated algorithm
+// over bus-only, torus and fat-tree machines — must emit byte-identical
+// JSONL for 1 and 8 workers, which also exercises collective expansion on
+// Reset-reused simulators across all rank counts.
+func TestCollectivesDeterministicAcrossWorkers(t *testing.T) {
+	runs, err := Collectives().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	encode := func(workers int) []byte {
+		res, err := Engine{Workers: workers}.Execute(runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := encode(1)
+	for _, want := range []string{
+		`"collective":"allreduce/auto/8B"`,
+		`"collective":"allreduce/ring/8B"`,
+		`"collective":"allreduce/recdouble/8B"`,
+		`"collective":"allreduce/ring/65536B"`,
+		`"collective":"allreduce/recdouble/65536B"`,
+	} {
+		if !bytes.Contains(serial, []byte(want)) {
+			t.Fatalf("collectives sweep rows missing %s", want)
+		}
+	}
+	if par := encode(8); !bytes.Equal(serial, par) {
+		t.Error("workers=8 produced different JSONL bytes than workers=1")
+	}
+}
+
+// TestNoCollectiveRowsUnchanged is the omitempty regression check: a run
+// without a convergence collective must encode to exactly the same bytes as
+// before the collective fields existed. It diffs the same run's row with
+// and without the collective enabled: the enabled row must add only the
+// "collective" key, the disabled row none at all — so bus-only/no-
+// collective campaigns (the example golden) stay byte-identical.
+func TestNoCollectiveRowsUnchanged(t *testing.T) {
+	g := config.GridSpec{Nx: 24, Ny: 24, Nz: 24}
+	spec := func(conv *config.ConvergenceSpec) Spec {
+		return Spec{
+			Name:     "omitempty",
+			Apps:     []AppDim{{Preset: "lu", Grid: &g, Convergence: conv}},
+			Machines: []MachineDim{{MachineSpec: config.MachineSpec{Preset: "xt4", CoresPerNode: 2}}},
+			Ranks:    []int{16},
+		}
+	}
+	encode := func(s Spec) []byte {
+		res, err := Engine{Workers: 1}.ExecuteSpec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	pre := encode(spec(nil))
+	if bytes.Contains(pre, []byte(`"collective"`)) {
+		t.Fatalf("no-collective row leaks a collective field:\n%s", pre)
+	}
+	post := encode(spec(&config.ConvergenceSpec{Bytes: 8, Alg: "ring"}))
+	if !bytes.Contains(post, []byte(`"collective":"allreduce/ring/8B"`)) {
+		t.Fatalf("collective row missing its field:\n%s", post)
+	}
+	// Key inventory must differ by exactly {"collective"}: new fields must
+	// never creep into rows that do not use them.
+	preKeys, postKeys := jsonKeys(t, pre), jsonKeys(t, post)
+	delete(postKeys, "collective")
+	if !maps.Equal(preKeys, postKeys) {
+		t.Errorf("row key sets diverged beyond the collective field:\n pre: %v\npost: %v", preKeys, postKeys)
+	}
+}
+
+// jsonKeys returns the key set of a single JSONL row.
+func jsonKeys(t *testing.T, row []byte) map[string]bool {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(row), &m); err != nil {
+		t.Fatalf("bad JSONL row: %v", err)
+	}
+	keys := map[string]bool{}
+	for k := range m {
+		keys[k] = true
+	}
+	return keys
 }

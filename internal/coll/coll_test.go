@@ -1,0 +1,316 @@
+package coll_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/coll"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+	"repro/internal/topo"
+)
+
+// allAlgorithms enumerates every simulated (kind, algorithm) pair at one
+// payload size.
+func allAlgorithms(bytes int) []coll.Collective {
+	return []coll.Collective{
+		{Kind: coll.Bcast, Alg: simmpi.AlgBinomial, Bytes: bytes},
+		{Kind: coll.Allreduce, Alg: simmpi.AlgRing, Bytes: bytes},
+		{Kind: coll.Allreduce, Alg: simmpi.AlgRecDouble, Bytes: bytes},
+		{Kind: coll.Barrier, Alg: simmpi.AlgDissemination},
+	}
+}
+
+// TestCollectivesComplete runs every algorithm over awkward rank counts —
+// powers of two, odd counts, primes, one — on single- and dual-core
+// machines and checks for deadlock, which the blocking rendezvous protocol
+// would turn into a simulator error. Sizes straddle the eager threshold so
+// both protocols are exercised.
+func TestCollectivesComplete(t *testing.T) {
+	machines := []machine.Machine{machine.XT4SingleCore(), machine.XT4()}
+	for _, m := range machines {
+		for _, ranks := range []int{1, 2, 3, 5, 7, 8, 12, 16, 17, 31, 64} {
+			for _, bytes := range []int{8, 1024, 1025, 65536} {
+				for _, c := range allAlgorithms(bytes) {
+					res, err := coll.Simulate(m, ranks, c)
+					if err != nil {
+						t.Fatalf("%s over %d ranks on %s: %v", c, ranks, m.Name, err)
+					}
+					if ranks > 1 && res.Time <= 0 {
+						t.Errorf("%s over %d ranks on %s: non-positive completion time %v",
+							c, ranks, m.Name, res.Time)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestByteConservation is the traffic property: for every algorithm the
+// simulator's injected message count and byte total must equal the
+// analytic count × size exactly, over randomized rank counts and payloads.
+// The rand seed is fixed so failures reproduce.
+func TestByteConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260729))
+	m := machine.XT4()
+	for trial := 0; trial < 40; trial++ {
+		ranks := 2 + rng.Intn(63)
+		bytes := 1 + rng.Intn(1<<uint(3+rng.Intn(15)))
+		cs := allAlgorithms(bytes)
+		cs = append(cs, coll.Collective{Kind: coll.Bcast, Alg: simmpi.AlgBinomial,
+			Bytes: bytes, Root: rng.Intn(ranks)})
+		for _, c := range cs {
+			res, err := coll.Simulate(m, ranks, c)
+			if err != nil {
+				t.Fatalf("%s over %d ranks: %v", c, ranks, err)
+			}
+			wantMsgs, each := c.Messages(ranks)
+			if res.Sends != wantMsgs || res.Recvs != wantMsgs {
+				t.Errorf("%s over %d ranks: %d sends / %d recvs, want %d",
+					c, ranks, res.Sends, res.Recvs, wantMsgs)
+			}
+			if want := c.TotalBytes(ranks); res.BytesSent != want {
+				t.Errorf("%s over %d ranks: %d bytes injected, want %d (= %d × %d)",
+					c, ranks, res.BytesSent, want, wantMsgs, each)
+			}
+		}
+	}
+}
+
+// TestRunnerReuseBitIdentical verifies the Runner's reused simulator: a
+// scan of algorithms and rank counts must reproduce fresh-simulator results
+// to the last bit, in any interleaving order.
+func TestRunnerReuseBitIdentical(t *testing.T) {
+	m := machine.XT4()
+	cases := []struct {
+		ranks int
+		c     coll.Collective
+	}{
+		{16, coll.Collective{Kind: coll.Allreduce, Alg: simmpi.AlgRing, Bytes: 4096}},
+		{7, coll.Collective{Kind: coll.Bcast, Alg: simmpi.AlgBinomial, Bytes: 100}},
+		{32, coll.Collective{Kind: coll.Allreduce, Alg: simmpi.AlgRecDouble, Bytes: 8}},
+		{9, coll.Collective{Kind: coll.Barrier}},
+		{16, coll.Collective{Kind: coll.Allreduce, Alg: simmpi.AlgRing, Bytes: 4096}},
+	}
+	var r coll.Runner
+	for i, tc := range cases {
+		fresh, err := coll.Simulate(m, tc.ranks, tc.c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused, err := r.Run(m, tc.ranks, tc.c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh.Time != reused.Time || fresh.Events != reused.Events ||
+			fresh.Sends != reused.Sends || fresh.BytesSent != reused.BytesSent {
+			t.Errorf("case %d (%s): reused runner diverged: fresh %+v reused %+v",
+				i, tc.c, fresh, reused)
+		}
+	}
+}
+
+// TestModelSanity checks the closed forms against structural truths: zero
+// cost at one rank, monotone in message size, and within a loose band of
+// the simulator on the uncontended bus-only machine where the closed form's
+// assumptions are closest to the simulated behaviour.
+func TestModelSanity(t *testing.T) {
+	m := machine.XT4()
+	for _, c := range allAlgorithms(8192) {
+		if got := c.Model(m, 1); got != 0 {
+			t.Errorf("%s: model cost %v at one rank, want 0", c, got)
+		}
+	}
+	for _, ranks := range []int{8, 32} {
+		prev := 0.0
+		for _, bytes := range []int{8, 512, 8192, 131072} {
+			c := coll.Collective{Kind: coll.Allreduce, Alg: simmpi.AlgRing, Bytes: bytes}
+			got := c.Model(m, ranks)
+			if got < prev {
+				t.Errorf("ring model not monotone in size at P=%d: %v after %v", ranks, got, prev)
+			}
+			prev = got
+		}
+	}
+	for _, c := range allAlgorithms(2048) {
+		ranks := 16
+		res, err := coll.Simulate(machine.XT4SingleCore(), ranks, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := c.Model(machine.XT4SingleCore(), ranks)
+		if model <= 0 || res.Time <= 0 {
+			t.Fatalf("%s: non-positive times model=%v sim=%v", c, model, res.Time)
+		}
+		ratio := model / res.Time
+		if ratio < 0.2 || ratio > 5 {
+			t.Errorf("%s at P=%d: model %v µs vs simulated %v µs (ratio %.2f) — closed form drifted wildly",
+				c, ranks, model, res.Time, ratio)
+		}
+	}
+}
+
+// TestCrossoverScan checks the ring vs recursive-doubling comparison: at
+// tiny payloads recursive doubling's fewer rounds win, and the scan's
+// crossover point is consistent with its own points.
+func TestCrossoverScan(t *testing.T) {
+	m := machine.XT4()
+	sizes := []int{8, 256, 4096, 65536, 1048576}
+	pts, err := coll.CrossoverScan(m, 32, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(sizes) {
+		t.Fatalf("scan returned %d points, want %d", len(pts), len(sizes))
+	}
+	if pts[0].RecDouble >= pts[0].Ring {
+		t.Errorf("at 8 bytes recursive doubling (%v µs) should beat ring (%v µs)",
+			pts[0].RecDouble, pts[0].Ring)
+	}
+	cross := coll.Crossover(pts)
+	for _, pt := range pts {
+		if cross == -1 {
+			if pt.Ring <= pt.RecDouble {
+				t.Errorf("crossover reported none, but ring wins at %d bytes", pt.Bytes)
+			}
+		} else if pt.Bytes < cross && pt.Ring <= pt.RecDouble {
+			t.Errorf("ring already wins at %d bytes, before reported crossover %d", pt.Bytes, cross)
+		}
+	}
+}
+
+// TestInterconnectSlowsCollectives checks that routing constituents over a
+// link fabric is visible: on a torus the completion time of a large
+// all-reduce is at least the flat-wire time, and link counters are
+// populated.
+func TestInterconnectSlowsCollectives(t *testing.T) {
+	flat := machine.XT4()
+	torus := flat.WithInterconnect(topo.Spec{Kind: topo.Torus2D})
+	c := coll.Collective{Kind: coll.Allreduce, Alg: simmpi.AlgRing, Bytes: 1 << 20}
+	base, err := coll.Simulate(flat, 64, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, err := coll.Simulate(torus, 64, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routed.LinkRequests == 0 {
+		t.Fatal("torus run acquired no links")
+	}
+	if routed.Time < base.Time {
+		t.Errorf("torus run (%v µs) faster than flat wire (%v µs)", routed.Time, base.Time)
+	}
+}
+
+// TestStringRendering pins the labels used in JSONL rows and reports.
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		c    coll.Collective
+		want string
+	}{
+		{coll.Collective{Kind: coll.Bcast, Bytes: 512}, "bcast/binomial/512B"},
+		{coll.Collective{Kind: coll.Allreduce, Alg: simmpi.AlgRing, Bytes: 8}, "allreduce/ring/8B"},
+		{coll.Collective{Kind: coll.Allreduce, Alg: simmpi.AlgRecDouble, Bytes: 64}, "allreduce/recdouble/64B"},
+		{coll.Collective{Kind: coll.Allreduce, Bytes: 8}, "allreduce/auto/8B"},
+		{coll.Collective{Kind: coll.Barrier}, "barrier/dissemination"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+	if got := coll.Kind(9).String(); got != "Kind(9)" {
+		t.Errorf("unknown kind renders %q", got)
+	}
+	if got := coll.AlgName(simmpi.CollAlg(200)); got != "CollAlg(200)" {
+		t.Errorf("unknown algorithm renders %q", got)
+	}
+}
+
+// TestModelAutoMatchesEquation9 checks that the auto all-reduce's closed
+// form is the paper's equation (9), and that the degenerate sizes price as
+// documented.
+func TestModelAutoMatchesEquation9(t *testing.T) {
+	m := machine.XT4()
+	c := coll.Collective{Kind: coll.Allreduce, Bytes: 8}
+	if got, want := c.Model(m, 64), m.Params.AllReduce(64, m.CoresPerNode, 8); got != want {
+		t.Errorf("auto all-reduce model %v, want equation (9) value %v", got, want)
+	}
+	if count, _ := c.Messages(64); count != 0 {
+		t.Errorf("closed-form all-reduce reports %d simulator messages, want 0", count)
+	}
+	ring := coll.Collective{Kind: coll.Allreduce, Alg: simmpi.AlgRing, Bytes: 8}
+	if got := coll.ModelAllReduceRing(m, 2, 8); got <= 0 {
+		t.Errorf("two-rank ring model %v, want positive", got)
+	}
+	// Inside one node every ring round is the on-chip path.
+	if got, want := ring.Model(m, 2), 2*m.Params.TotalCommOnChip(4); got != want {
+		t.Errorf("intra-node ring model %v, want %v", got, want)
+	}
+}
+
+// TestCrossoverNone covers the no-crossover outcome: at tiny scans
+// recursive doubling wins everywhere.
+func TestCrossoverNone(t *testing.T) {
+	pts, err := coll.CrossoverScan(machine.XT4(), 16, []int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross := coll.Crossover(pts); cross != -1 {
+		t.Errorf("crossover at %d bytes on a latency-dominated scan, want none", cross)
+	}
+}
+
+// TestRunRejectsInvalid covers the driver's validation path.
+func TestRunRejectsInvalid(t *testing.T) {
+	if _, err := coll.Simulate(machine.XT4(), 0, coll.Collective{Kind: coll.Barrier}); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	bad := machine.XT4().WithInterconnect(topo.Spec{Kind: topo.Torus2D, Dims: []int{1, 1}})
+	if _, err := coll.Simulate(bad, 64, coll.Collective{Kind: coll.Barrier}); err == nil {
+		t.Error("undersized torus accepted")
+	}
+}
+
+// TestParseAlg round-trips every algorithm name and rejects junk.
+func TestParseAlg(t *testing.T) {
+	for _, a := range []simmpi.CollAlg{simmpi.AlgAuto, simmpi.AlgBinomial,
+		simmpi.AlgRing, simmpi.AlgRecDouble, simmpi.AlgDissemination} {
+		got, err := coll.ParseAlg(coll.AlgName(a))
+		if err != nil || got != a {
+			t.Errorf("round-trip of %s: got %v, err %v", coll.AlgName(a), got, err)
+		}
+	}
+	if _, err := coll.ParseAlg("quantum"); err == nil {
+		t.Error("ParseAlg accepted junk")
+	}
+}
+
+// TestValidate rejects malformed collectives.
+func TestValidate(t *testing.T) {
+	bad := []struct {
+		ranks int
+		c     coll.Collective
+	}{
+		{0, coll.Collective{Kind: coll.Barrier}},
+		{8, coll.Collective{Kind: coll.Bcast, Bytes: 0}},
+		{8, coll.Collective{Kind: coll.Bcast, Bytes: 8, Root: 8}},
+		{8, coll.Collective{Kind: coll.Bcast, Bytes: 8, Root: -1}},
+		{8, coll.Collective{Kind: coll.Bcast, Alg: simmpi.AlgRing, Bytes: 8}},
+		{8, coll.Collective{Kind: coll.Allreduce, Alg: simmpi.AlgBinomial, Bytes: 8}},
+		{8, coll.Collective{Kind: coll.Allreduce, Bytes: -4}},
+		{8, coll.Collective{Kind: coll.Allreduce, Bytes: 8, Root: 3}},
+		{8, coll.Collective{Kind: coll.Barrier, Alg: simmpi.AlgRing}},
+		{8, coll.Collective{Kind: coll.Kind(9)}},
+	}
+	for i, tc := range bad {
+		if err := tc.c.Validate(tc.ranks); err == nil {
+			t.Errorf("case %d (%v over %d ranks): invalid collective accepted", i, tc.c, tc.ranks)
+		}
+	}
+	ok := coll.Collective{Kind: coll.Allreduce, Alg: simmpi.AlgRing, Bytes: 8}
+	if err := ok.Validate(8); err != nil {
+		t.Errorf("valid collective rejected: %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+package coll_test
+
+// Golden lock-down of the collective algorithms: completion times (as exact
+// IEEE-754 hex floats), event counts and traffic totals for every algorithm
+// on bus-only, 2D-torus and fat-tree machines across rank counts. Any
+// change to event ordering, LogGP arithmetic, routing or the expansion
+// schedules shows up as a byte diff against testdata/collectives_golden.txt.
+//
+// To bless an intentional change:
+//
+//	go test ./internal/coll -run TestCollectivesGolden -update
+//
+// and explain the drift in the commit message.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/coll"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+	"repro/internal/topo"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func goldenReport(t *testing.T) string {
+	t.Helper()
+	machines := []struct {
+		label string
+		m     machine.Machine
+	}{
+		{"xt4-dual/bus", machine.XT4()},
+		{"xt4-dual/torus2d", machine.XT4().WithInterconnect(topo.Spec{Kind: topo.Torus2D})},
+		{"xt4-dual/fattree", machine.XT4().WithInterconnect(topo.Spec{Kind: topo.FatTree})},
+	}
+	collectives := []coll.Collective{
+		{Kind: coll.Bcast, Alg: simmpi.AlgBinomial, Bytes: 512},
+		{Kind: coll.Bcast, Alg: simmpi.AlgBinomial, Bytes: 65536},
+		{Kind: coll.Allreduce, Alg: simmpi.AlgRing, Bytes: 8},
+		{Kind: coll.Allreduce, Alg: simmpi.AlgRing, Bytes: 65536},
+		{Kind: coll.Allreduce, Alg: simmpi.AlgRecDouble, Bytes: 8},
+		{Kind: coll.Allreduce, Alg: simmpi.AlgRecDouble, Bytes: 65536},
+		{Kind: coll.Barrier},
+	}
+	var b strings.Builder
+	var r coll.Runner
+	for _, mc := range machines {
+		for _, c := range collectives {
+			for _, ranks := range []int{8, 24, 64} {
+				res, err := r.Run(mc.m, ranks, c)
+				if err != nil {
+					t.Fatalf("%s %s P=%d: %v", mc.label, c, ranks, err)
+				}
+				fmt.Fprintf(&b, "%s %s P=%d time=%x events=%d msgs=%d bytes=%d linkhops=%d\n",
+					mc.label, c, ranks, res.Time, res.Events, res.Sends, res.BytesSent, res.LinkRequests)
+			}
+		}
+	}
+	return b.String()
+}
+
+// TestCollectivesGolden pins the full report byte-for-byte.
+func TestCollectivesGolden(t *testing.T) {
+	const path = "testdata/collectives_golden.txt"
+	got := goldenReport(t)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to record)", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := range wantLines {
+		if i >= len(gotLines) {
+			t.Fatalf("report truncated at line %d of %d", i, len(wantLines))
+		}
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("line %d drifted:\n got: %s\nwant: %s", i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("report grew from %d to %d lines", len(wantLines), len(gotLines))
+}

@@ -1,0 +1,169 @@
+package coll
+
+// Closed-form LogGP cost models of the simulated collective algorithms, in
+// the style of the paper's all-reduce model (equation (9)): a collective is
+// priced as a sum of rounds, each round one LogGP end-to-end message time
+// (Table 1), with two machine-awareness refinements mirroring the
+// simulator's structure under linear rank placement:
+//
+//   - a round whose exchange distance is below the cores-per-node count C
+//     stays on-chip and uses the Table 1(b) path;
+//   - an off-node round in which every core of a node injects at once pays
+//     the node's shared bus: (cores-per-bus − 1) extra interference terms
+//     I = odma + size×Gdma (the paper's Table 6 per-interference cost).
+//
+// What the closed forms deliberately omit — link-level queueing on torus or
+// fat-tree fabrics, per-hop router latency, the skew between ranks entering
+// a round — is exactly the abstraction error the experiments measure.
+
+import (
+	"math"
+
+	"repro/internal/logp"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+)
+
+// rounds returns ceil(log2 P), the round count of the logarithmic
+// algorithms (binomial tree, recursive doubling core, dissemination).
+func rounds(P int) int {
+	if P <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(P))))
+}
+
+// roundCost prices one round of distance-d exchanges of the given size:
+// the LogGP end-to-end time of the path, plus the shared-bus interference
+// of the node's other cores for off-node rounds.
+func roundCost(m machine.Machine, d, size int) float64 {
+	p := m.Params
+	if d < m.CoresPerNode {
+		return p.TotalCommOnChip(size)
+	}
+	cb := m.CoresPerBus()
+	return p.TotalCommOffNode(size) + float64(cb-1)*busInterference(p, size)
+}
+
+// busInterference is the paper's per-interference term I = odma + size×Gdma
+// (Table 6): the bus occupancy one DMA adds to a node-mate's transfer.
+func busInterference(p logp.Params, size int) float64 {
+	return p.Odma() + float64(size)*p.Gdma
+}
+
+// ModelBcast prices the binomial-tree broadcast: ceil(log2 P) rounds, round
+// k exchanging at distance 2^k. The tree is bus-uncontended in the model —
+// at most one subtree sender per node matters on the critical path.
+func ModelBcast(m machine.Machine, P, bytes int) float64 {
+	var t float64
+	for k := 1; k < P; k <<= 1 {
+		if k < m.CoresPerNode {
+			t += m.Params.TotalCommOnChip(bytes)
+		} else {
+			t += m.Params.TotalCommOffNode(bytes)
+		}
+	}
+	return t
+}
+
+// ModelBarrier prices the dissemination barrier: ceil(log2 P) rounds of
+// 8-byte eager flags at distance 2^k.
+func ModelBarrier(m machine.Machine, P int) float64 {
+	var t float64
+	for k := 1; k < P; k <<= 1 {
+		t += roundCost(m, k, 8)
+	}
+	return t
+}
+
+// ModelAllReduceRing prices the ring all-reduce: 2(P−1) lock-step rounds of
+// ceil(bytes/P) chunks between ring neighbours. Each round completes when
+// its slowest exchange does, and once the ring spans more than one node
+// that is an off-node boundary hop.
+func ModelAllReduceRing(m machine.Machine, P, bytes int) float64 {
+	if P < 2 {
+		return 0
+	}
+	chunk := (bytes + P - 1) / P
+	steps := float64(2 * (P - 1))
+	if P <= m.CoresPerNode {
+		return steps * m.Params.TotalCommOnChip(chunk)
+	}
+	// Off-node boundary rounds: only the two boundary cores of a node hold
+	// the ring's inter-node hops, so no full-node bus convoy forms.
+	return steps * m.Params.TotalCommOffNode(chunk)
+}
+
+// ModelAllReduceRecDouble prices the recursive-doubling all-reduce:
+// log2(p2) full-size pairwise rounds at distances 1, 2, 4, … over the
+// largest power-of-two core p2 ≤ P, plus a fold round in and out for the
+// P − p2 leftover ranks.
+func ModelAllReduceRecDouble(m machine.Machine, P, bytes int) float64 {
+	if P < 2 {
+		return 0
+	}
+	p2 := simmpi.FloorPow2(P)
+	var t float64
+	for d := 1; d < p2; d <<= 1 {
+		t += roundCost(m, d, bytes)
+	}
+	if P > p2 {
+		t += 2 * roundCost(m, p2, bytes)
+	}
+	return t
+}
+
+// Model dispatches to the collective's closed form.
+func (c Collective) Model(m machine.Machine, ranks int) float64 {
+	switch c.Kind {
+	case Bcast:
+		return ModelBcast(m, ranks, c.Bytes)
+	case Barrier:
+		return ModelBarrier(m, ranks)
+	default:
+		switch c.effAlg() {
+		case simmpi.AlgRing:
+			return ModelAllReduceRing(m, ranks, c.Bytes)
+		case simmpi.AlgRecDouble:
+			return ModelAllReduceRecDouble(m, ranks, c.Bytes)
+		default:
+			// The closed-form exchange of paper equation (9).
+			return m.Params.AllReduce(ranks, m.CoresPerNode, c.Bytes)
+		}
+	}
+}
+
+// Messages returns the algorithm's total point-to-point message count over
+// the given rank count and the payload size of each message. Every message
+// of one collective instance has the same size, so total traffic is
+// count × each.
+func (c Collective) Messages(ranks int) (count uint64, each int) {
+	P := ranks
+	if P <= 1 {
+		return 0, 0
+	}
+	switch c.Kind {
+	case Bcast:
+		return uint64(P - 1), c.Bytes
+	case Barrier:
+		return uint64(P) * uint64(rounds(P)), 8
+	default:
+		switch c.effAlg() {
+		case simmpi.AlgRing:
+			chunk := (c.Bytes + P - 1) / P
+			return uint64(2*P) * uint64(P-1), chunk
+		case simmpi.AlgRecDouble:
+			p2 := simmpi.FloorPow2(P)
+			return uint64(p2)*uint64(rounds(p2)) + 2*uint64(P-p2), c.Bytes
+		default:
+			return 0, 0 // closed-form exchange sends no simulator messages
+		}
+	}
+}
+
+// TotalBytes returns the algorithm's total injected traffic in bytes:
+// message count × per-message payload.
+func (c Collective) TotalBytes(ranks int) uint64 {
+	count, each := c.Messages(ranks)
+	return count * uint64(each)
+}

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/coll"
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/logp"
@@ -48,6 +49,35 @@ type StencilSpec struct {
 	BytesPerCell int     `json:"bytes_per_cell"`
 }
 
+// ConvergenceSpec enables the per-iteration convergence all-reduce: every
+// rank joins an all-reduce of Bytes at the end of each iteration, executed
+// by the named collective algorithm — "ring", "recdouble", or "auto" for
+// the closed-form exchange of paper equation (9). An empty Alg defaults to
+// "recdouble", MPI's usual choice for short reductions.
+type ConvergenceSpec struct {
+	Bytes int    `json:"bytes"`
+	Alg   string `json:"alg,omitempty"`
+}
+
+// Apply resolves the spec onto a benchmark, validating size and algorithm.
+func (c ConvergenceSpec) Apply(bm apps.Benchmark) (apps.Benchmark, error) {
+	if c.Bytes <= 0 {
+		return bm, fmt.Errorf("config: convergence all-reduce needs a positive size, got %d", c.Bytes)
+	}
+	name := c.Alg
+	if name == "" {
+		name = "recdouble"
+	}
+	alg, err := coll.ParseAlg(name)
+	if err != nil {
+		return bm, fmt.Errorf("config: convergence: %w", err)
+	}
+	if !simmpi.ValidAllReduceAlg(alg) {
+		return bm, fmt.Errorf("config: convergence all-reduce cannot use algorithm %q (want auto, ring or recdouble)", name)
+	}
+	return bm.WithConvergence(c.Bytes, alg), nil
+}
+
 // AppSpec is the JSON form of the paper's Table 3 application parameters.
 type AppSpec struct {
 	Name  string   `json:"name"`
@@ -68,6 +98,10 @@ type AppSpec struct {
 
 	NonWavefront NonWavefrontSpec `json:"nonwavefront,omitempty"`
 	Iterations   int              `json:"iterations"`
+
+	// Convergence, when set, adds a per-iteration convergence all-reduce
+	// executed by a simulated collective algorithm (internal/coll).
+	Convergence *ConvergenceSpec `json:"convergence,omitempty"`
 }
 
 // MachineSpec is the JSON form of a platform description.
@@ -157,6 +191,13 @@ func (s AppSpec) Benchmark() (apps.Benchmark, error) {
 
 	bm := apps.Custom(s.Name, grid.NewGrid(s.Grid.Nx, s.Grid.Ny, s.Grid.Nz),
 		s.Wg, s.WgPre, s.Htile, corners, ew, ns, nonWF, s.Iterations, interOps)
+	if s.Convergence != nil {
+		var err error
+		bm, err = s.Convergence.Apply(bm)
+		if err != nil {
+			return zero, fmt.Errorf("%w (app %q)", err, s.Name)
+		}
+	}
 	if err := bm.App.Validate(); err != nil {
 		return zero, err
 	}

@@ -1,0 +1,113 @@
+package config_test
+
+// Fuzz coverage of the strict JSON decoding path shared by every spec
+// loader: machine blocks (LogGP params, interconnect), application blocks
+// (grids, corners, non-wavefront, convergence collectives) and whole
+// campaign specs. The invariants: DecodeStrict and the materialisers behind
+// it never panic on arbitrary input, and any object that decodes cleanly is
+// re-rejected once an unknown field is injected — a typo in a knob name
+// must always be an error, never silently ignored.
+//
+// CI runs this as a short -fuzz smoke on top of the checked-in seed corpus.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/config"
+)
+
+// fuzzSeeds are well-formed examples of every spec shape the decoder
+// serves, so the fuzzer starts from meaningful structures.
+var fuzzSeeds = []string{
+	// Machine blocks, with and without interconnects.
+	`{"preset": "xt4", "cores_per_node": 2}`,
+	`{"preset": "sp2", "cores_per_node": 1, "bus_groups": 1}`,
+	`{"preset": "xt4", "cores_per_node": 4, "interconnect": {"kind": "torus2d", "dims": [6, 6]}}`,
+	`{"preset": "xt4", "cores_per_node": 2, "interconnect": {"kind": "torus3d"}}`,
+	`{"preset": "xt4", "cores_per_node": 2, "interconnect": {"kind": "fattree", "leaf_radix": 4, "spine": 2}}`,
+	`{"preset": "xt4", "cores_per_node": 2, "interconnect": {"kind": "bus"}}`,
+	`{"params": {"Name": "custom", "G": 0.001, "L": 1.5, "O": 2, "H": 0,
+	  "Gcopy": 0.0005, "Gdma": 0.0001, "Ochip": 2, "Ocopy": 1}, "cores_per_node": 2}`,
+	// Application blocks, with and without convergence collectives.
+	`{"name": "mini", "grid": {"nx": 8, "ny": 8, "nz": 8}, "wg": 0.5, "htile": 1,
+	  "corners": ["NW", "SE"], "angles": 6, "iterations": 1}`,
+	`{"name": "mini", "grid": {"nx": 8, "ny": 8, "nz": 8}, "wg": 0.5, "htile": 1,
+	  "corners": ["NW", "SE"], "bytes_per_cell": 40, "iterations": 2,
+	  "nonwavefront": {"allreduces": 1},
+	  "convergence": {"bytes": 8, "alg": "ring"}}`,
+	`{"name": "mini", "grid": {"nx": 8, "ny": 8, "nz": 8}, "wg": 0.5, "htile": 1,
+	  "corners": ["SE", "SE", "NE", "NE"], "angles": 10, "iterations": 1,
+	  "convergence": {"bytes": 4096, "alg": "recdouble"}}`,
+	`{"name": "mini", "grid": {"nx": 8, "ny": 8, "nz": 8}, "wg": 0.5, "htile": 1,
+	  "corners": ["NW"], "angles": 6, "iterations": 1, "convergence": {"bytes": 8}}`,
+	// Campaign specs sweeping all dimensions.
+	`{"name": "c", "apps": [{"preset": "lu", "grid": {"nx": 12, "ny": 12, "nz": 12},
+	  "convergence": {"bytes": 8, "alg": "auto"}}],
+	  "machines": [{"preset": "xt4", "cores_per_node": 2,
+	  "interconnect": {"kind": "fattree"}}], "ranks": [4, 9]}`,
+	`{"name": "c", "apps": [{"preset": "sweep3d", "grid": {"nx": 12, "ny": 12, "nz": 12},
+	  "htile": 2}], "machines": [{"preset": "xt4", "cores_per_node": 1}],
+	  "ranks": [4], "loggp": [{"name": "slow", "scale": {"L": 4}}]}`,
+	// Degenerate shapes the decoder must survive.
+	`null`, `{}`, `[]`, `42`, `"x"`, `{"kind": "torus2d"}`,
+	`{"preset": "xt4", "cores_per_node": 2} trailing`,
+}
+
+// FuzzDecodeStrict drives arbitrary bytes through every strict-decoding
+// surface and its materialiser.
+func FuzzDecodeStrict(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ms config.MachineSpec
+		if err := config.DecodeStrict(data, &ms); err == nil {
+			_, _ = ms.Machine()
+			rejectUnknownField(t, data, &config.MachineSpec{})
+		}
+		var as config.AppSpec
+		if err := config.DecodeStrict(data, &as); err == nil {
+			_, _ = as.Benchmark()
+			rejectUnknownField(t, data, &config.AppSpec{})
+		}
+		var file config.File
+		if err := config.DecodeStrict(data, &file); err == nil {
+			rejectUnknownField(t, data, &config.File{})
+		}
+		if spec, err := campaign.ParseSpec(data); err == nil {
+			// A spec that parses cleanly must also expand cleanly or fail
+			// with an error — never panic. Huge rank counts are legal but
+			// make decomposition factoring quadratically slow; skip them to
+			// keep fuzz executions fast.
+			for _, p := range spec.Ranks {
+				if p > 1<<20 {
+					return
+				}
+			}
+			_, _ = spec.Expand()
+		}
+	})
+}
+
+// rejectUnknownField re-encodes a successfully decoded JSON object with one
+// extra unknown key and requires DecodeStrict to refuse it.
+func rejectUnknownField(t *testing.T, data []byte, v any) {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if json.Unmarshal(data, &m) != nil || m == nil {
+		return // not an object (e.g. null): nothing to inject into
+	}
+	if _, dup := m["zz_no_such_knob_zz"]; dup {
+		return
+	}
+	m["zz_no_such_knob_zz"] = json.RawMessage(`1`)
+	b, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	if err := config.DecodeStrict(b, v); err == nil {
+		t.Errorf("unknown field accepted by %T: %s", v, b)
+	}
+}

@@ -12,7 +12,7 @@ func TestRegistryHasAllPaperArtefacts(t *testing.T) {
 	want := []string{
 		"table2", "fig3a", "fig3b", "allreduce", "validate",
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-		"table4", "sweeps",
+		"table4", "sweeps", "topology", "collectives",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

@@ -1,0 +1,238 @@
+package simmpi
+
+// This file expands collective operations into their point-to-point
+// constituents. A collective op (OpBcast, OpBarrier, or OpAllReduce with a
+// non-auto algorithm) is not executed as a closed form: when a rank's
+// program reaches it, advance() materialises the rank's share of the
+// algorithm — a short sequence of Send/Recv ops — into the rank's pooled
+// coll buffer and runs them through the ordinary message machinery. Every
+// constituent therefore pays LogGP costs, queues on node buses and routes
+// over interconnect links exactly like application traffic, so collective
+// completion times feel topology and contention.
+//
+// The expansions are pure functions of (op, rank, ranks): deterministic,
+// allocation-free once the per-rank buffer has grown to steady state, and
+// deadlock-free under blocking MPI semantics — pairwise exchanges order
+// send/recv by rank parity or pair position so that every rendezvous
+// handshake can complete (see the per-algorithm comments).
+
+import "fmt"
+
+// CollAlg selects the algorithm used to execute a collective operation.
+// For all-reduce ops the algorithm is carried in Op.Peer (unused by
+// all-reduces); broadcasts are always binomial and barriers always
+// dissemination. CollAlgOf recovers the algorithm from any op.
+type CollAlg uint8
+
+// Collective algorithms.
+const (
+	// AlgAuto is the zero value: OpAllReduce falls back to the closed-form
+	// recursive-doubling exchange of paper equation (9) (execAllReduce),
+	// preserving the pre-collectives behaviour bit for bit. OpBcast and
+	// OpBarrier treat AlgAuto as their only algorithm (binomial,
+	// dissemination).
+	AlgAuto CollAlg = iota
+	// AlgBinomial is the binomial-tree broadcast: ceil(log2 P) rounds, the
+	// set of ranks holding the data doubling each round.
+	AlgBinomial
+	// AlgRing is the ring all-reduce (reduce-scatter + all-gather):
+	// 2(P−1) rounds of neighbour exchanges of size ceil(bytes/P).
+	AlgRing
+	// AlgRecDouble is the recursive-doubling all-reduce: log2 P rounds of
+	// full-size pairwise exchanges, with a pre/post fold for non-power-of-two
+	// rank counts.
+	AlgRecDouble
+	// AlgDissemination is the dissemination barrier: ceil(log2 P) rounds in
+	// which rank r signals rank (r + 2^k) mod P with an eager flag message.
+	AlgDissemination
+)
+
+// barrierBytes is the payload of one dissemination-barrier flag message:
+// a single double, well under the eager threshold so barrier rounds never
+// handshake.
+const barrierBytes = 8
+
+// Bcast returns a binomial-tree broadcast of bytes from the root rank.
+func Bcast(root, bytes int) Op {
+	return Op{Kind: OpBcast, Peer: int32(root), Bytes: int32(bytes)}
+}
+
+// Barrier returns a dissemination barrier over all ranks.
+func Barrier() Op {
+	return Op{Kind: OpBarrier, Bytes: barrierBytes}
+}
+
+// AllReduceAlg returns an all-reduce executed by the given simulated
+// algorithm (AlgRing or AlgRecDouble). AlgAuto selects the closed-form
+// exchange of AllReduce. The algorithm rides in Peer, which all-reduce
+// ops do not otherwise use.
+func AllReduceAlg(bytes int, alg CollAlg) Op {
+	return Op{Kind: OpAllReduce, Peer: int32(alg), Bytes: int32(bytes)}
+}
+
+// CollAlgOf returns the collective algorithm an op executes: the encoded
+// algorithm for all-reduces, the fixed algorithm for broadcasts and
+// barriers, and AlgAuto for non-collective ops.
+func CollAlgOf(op Op) CollAlg {
+	switch op.Kind {
+	case OpAllReduce:
+		return CollAlg(op.Peer)
+	case OpBcast:
+		return AlgBinomial
+	case OpBarrier:
+		return AlgDissemination
+	}
+	return AlgAuto
+}
+
+// FloorPow2 returns the largest power of two not exceeding n (n ≥ 1): the
+// recursive-doubling core size p2. The expansion, the analytic cost model
+// and the analytic message count (internal/coll) must all derive p2 the
+// same way, so they share this one helper.
+func FloorPow2(n int) int {
+	p2 := 1
+	for p2*2 <= n {
+		p2 *= 2
+	}
+	return p2
+}
+
+// ValidAllReduceAlg reports whether an all-reduce may use the algorithm:
+// the closed-form exchange (AlgAuto) or a simulated algorithm with an
+// expansion (AlgRing, AlgRecDouble). Every layer that accepts an all-reduce
+// algorithm — config convergence specs, wavefront schedules, coll
+// collectives — consults this one predicate.
+func ValidAllReduceAlg(a CollAlg) bool {
+	switch a {
+	case AlgAuto, AlgRing, AlgRecDouble:
+		return true
+	}
+	return false
+}
+
+// expandsToP2P reports whether advance() must expand the op into
+// point-to-point constituents rather than execute it directly.
+func expandsToP2P(op Op) bool {
+	switch op.Kind {
+	case OpBcast, OpBarrier:
+		return true
+	case OpAllReduce:
+		return op.Peer != int32(AlgAuto)
+	}
+	return false
+}
+
+// AppendCollective appends rank's point-to-point share of the collective op
+// to dst and returns the extended slice. It panics on ops that are not
+// expandable collectives or carry an algorithm foreign to their kind. The
+// expansion for one rank count is mutually consistent across ranks: every
+// appended Send has exactly one matching Recv on the peer, in an order that
+// cannot deadlock under blocking rendezvous semantics.
+func AppendCollective(dst []Op, op Op, rank, ranks int) []Op {
+	switch op.Kind {
+	case OpBcast:
+		return appendBcast(dst, rank, ranks, int(op.Peer), int(op.Bytes))
+	case OpBarrier:
+		return appendBarrier(dst, rank, ranks)
+	case OpAllReduce:
+		switch CollAlgOf(op) {
+		case AlgRing:
+			return appendRingAllReduce(dst, rank, ranks, int(op.Bytes))
+		case AlgRecDouble:
+			return appendRecDoubleAllReduce(dst, rank, ranks, int(op.Bytes))
+		}
+		panic(fmt.Sprintf("simmpi: all-reduce cannot expand algorithm %d", op.Peer))
+	}
+	panic(fmt.Sprintf("simmpi: op kind %d is not a collective", op.Kind))
+}
+
+// appendBcast emits the binomial tree rooted at root: in round k the ranks
+// with relative index < 2^k forward to relative index + 2^k. Each non-root
+// rank receives from its parent in the round where its relative index's
+// high bit is set, then forwards to its children in later rounds — a pure
+// tree, so no exchange can deadlock.
+func appendBcast(dst []Op, rank, ranks, root, bytes int) []Op {
+	if root < 0 || root >= ranks {
+		panic(fmt.Sprintf("simmpi: bcast root %d outside %d ranks", root, ranks))
+	}
+	vr := rank - root
+	if vr < 0 {
+		vr += ranks
+	}
+	for k := 1; k < ranks; k <<= 1 {
+		switch {
+		case vr >= k && vr < 2*k:
+			dst = append(dst, Recv((vr-k+root)%ranks))
+		case vr < k && vr+k < ranks:
+			dst = append(dst, Send((vr+k+root)%ranks, bytes))
+		}
+	}
+	return dst
+}
+
+// appendRingAllReduce emits the ring all-reduce: a reduce-scatter pass then
+// an all-gather pass, 2(P−1) rounds in total, each round sending one
+// ceil(bytes/P) chunk to rank+1 and receiving one from rank−1. Even ranks
+// send before receiving and odd ranks receive before sending, so every
+// dependency cycle around the ring contains a receive-first rank and the
+// rendezvous handshakes of large chunks resolve.
+func appendRingAllReduce(dst []Op, rank, ranks, bytes int) []Op {
+	if ranks < 2 {
+		return dst
+	}
+	chunk := (bytes + ranks - 1) / ranks
+	next := (rank + 1) % ranks
+	prev := (rank + ranks - 1) % ranks
+	for round := 0; round < 2*(ranks-1); round++ {
+		if rank%2 == 0 {
+			dst = append(dst, Send(next, chunk), Recv(prev))
+		} else {
+			dst = append(dst, Recv(prev), Send(next, chunk))
+		}
+	}
+	return dst
+}
+
+// appendRecDoubleAllReduce emits the recursive-doubling all-reduce over the
+// largest power-of-two core p2 ≤ P: ranks ≥ p2 first fold their data into
+// rank − p2, the core runs log2(p2) pairwise full-size exchanges (the lower
+// rank of each pair sends first, the higher receives first), and the folded
+// ranks receive the result back.
+func appendRecDoubleAllReduce(dst []Op, rank, ranks, bytes int) []Op {
+	if ranks < 2 {
+		return dst
+	}
+	p2 := FloorPow2(ranks)
+	if rank >= p2 {
+		// Folded rank: contribute, then wait for the reduced result.
+		return append(dst, Send(rank-p2, bytes), Recv(rank-p2))
+	}
+	if partner := rank + p2; partner < ranks {
+		dst = append(dst, Recv(partner))
+	}
+	for d := 1; d < p2; d <<= 1 {
+		peer := rank ^ d
+		if rank < peer {
+			dst = append(dst, Send(peer, bytes), Recv(peer))
+		} else {
+			dst = append(dst, Recv(peer), Send(peer, bytes))
+		}
+	}
+	if partner := rank + p2; partner < ranks {
+		dst = append(dst, Send(partner, bytes))
+	}
+	return dst
+}
+
+// appendBarrier emits the dissemination barrier: in round k rank r sends an
+// eager flag to (r + 2^k) mod P and waits for the flag from (r − 2^k) mod P.
+// Flags are far below the eager threshold, so sends complete locally and
+// the cyclic round pattern cannot deadlock.
+func appendBarrier(dst []Op, rank, ranks int) []Op {
+	for k := 1; k < ranks; k <<= 1 {
+		to := (rank + k) % ranks
+		from := (rank - k + ranks) % ranks
+		dst = append(dst, Send(to, barrierBytes), Recv(from))
+	}
+	return dst
+}

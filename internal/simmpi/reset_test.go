@@ -7,6 +7,7 @@ package simmpi_test
 // the pools of PR 1 across runs, not just within one.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/apps"
@@ -106,6 +107,90 @@ func TestResetBitIdentical(t *testing.T) {
 	}
 	for _, tc := range cases {
 		sameResult(t, tc.name, freshRun(t, tc.bm, tc.p), resetRun(t, sim, tc.bm, tc.p))
+	}
+}
+
+// collectiveProgs builds per-rank programs running a mix of every expanded
+// collective with interleaved compute.
+func collectiveProgs(ranks int) []*simmpi.SliceProgram {
+	progs := make([]*simmpi.SliceProgram, ranks)
+	for r := 0; r < ranks; r++ {
+		progs[r] = simmpi.Ops(
+			simmpi.Compute(float64(r)*0.25),
+			simmpi.Bcast(0, 4096),
+			simmpi.AllReduceAlg(8192, simmpi.AlgRing),
+			simmpi.Compute(1.0),
+			simmpi.AllReduceAlg(64, simmpi.AlgRecDouble),
+			simmpi.Barrier(),
+		)
+	}
+	return progs
+}
+
+// collectiveRun simulates the collective mix at the given rank count on sim
+// (nil: a fresh simulator).
+func collectiveRun(t *testing.T, sim *simmpi.Sim, ranks int) simmpi.Result {
+	t.Helper()
+	mach := machine.XT4()
+	topo := simnet.NewTopology(mach.Params, ranks, simnet.LinearPlacement(mach))
+	if sim == nil {
+		sim = simmpi.New(topo)
+	} else {
+		sim.Reset(topo)
+	}
+	for r, p := range collectiveProgs(ranks) {
+		sim.SetProgram(r, p)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestResetCollectiveBitIdentical reuses one Sim across collective-heavy
+// programs at shrinking and growing rank counts — exercising the pooled
+// per-rank expansion buffers — and demands bit-identity with fresh runs.
+func TestResetCollectiveBitIdentical(t *testing.T) {
+	sim := simmpi.New(simnet.NewTopology(machine.XT4().Params, 4, simnet.SpreadPlacement()))
+	for r := 0; r < 4; r++ {
+		sim.SetProgram(r, simmpi.Ops(simmpi.Barrier()))
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ranks := range []int{16, 7, 32, 16} {
+		name := fmt.Sprintf("collectives-%d", ranks)
+		sameResult(t, name, collectiveRun(t, nil, ranks), collectiveRun(t, sim, ranks))
+	}
+}
+
+// TestResetCollectiveAllocsNearZero extends the reuse contract to
+// collectives: once a Sim has expanded a collective program, re-running it
+// after Reset must stay within the same ≤8 allocs budget as point-to-point
+// traffic — the expansion buffers, pools and rings must all be reused.
+func TestResetCollectiveAllocsNearZero(t *testing.T) {
+	const ranks = 16
+	mach := machine.XT4()
+	topo := simnet.NewTopology(mach.Params, ranks, simnet.LinearPlacement(mach))
+	progs := collectiveProgs(ranks)
+	sim := simmpi.New(topo)
+	run := func() {
+		topo.Reset()
+		sim.Reset(topo)
+		for r, p := range progs {
+			p.Rewind()
+			sim.SetProgram(r, p)
+		}
+		if _, err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // first run grows the pools and expansion buffers
+	allocs := testing.AllocsPerRun(10, run)
+	t.Logf("%.1f allocs per collective re-run", allocs)
+	if allocs > 8 {
+		t.Errorf("collective reset run allocates too much: %.1f allocs/run, want ≤ 8", allocs)
 	}
 }
 

@@ -45,12 +45,20 @@ const (
 	OpSend                    // blocking MPI send of Bytes to Peer
 	OpRecv                    // blocking MPI receive from Peer
 	OpAllReduce               // MPI all-reduce of Bytes over all ranks
+	OpBcast                   // MPI broadcast of Bytes from root Peer
+	OpBarrier                 // MPI barrier over all ranks
 )
 
 // Op is a single program operation. The zero Op is a zero-length compute.
+//
+// The struct deliberately stays at four fields: the compiler only
+// SSA-decomposes small structs, and a fifth field pushes every Op copy in
+// the simulator's hot loop through memory (measured ≈8% event-rate loss).
+// Collective algorithm selection therefore rides in Peer, which all-reduce
+// ops do not otherwise use (see CollAlgOf in collops.go).
 type Op struct {
 	Kind  OpKind
-	Peer  int32   // send/recv peer rank
+	Peer  int32   // send/recv peer rank; broadcast root; all-reduce CollAlg
 	Bytes int32   // message size in bytes
 	Dur   float64 // compute duration in microseconds
 }
@@ -189,6 +197,13 @@ type rankState struct {
 
 	out []port // flat channel table: peers this rank sends to
 
+	// Collective sub-schedule in progress: the point-to-point constituent
+	// ops of an expanded collective (collops.go) and the next one to run.
+	// The buffer is pooled — expansion reuses it across collectives and
+	// across Reset, so steady-state collective execution is allocation-free.
+	coll   []Op
+	collIx int32
+
 	// Tracing state: the communication op in progress and its start time.
 	inComm  bool
 	curOp   Op
@@ -238,7 +253,8 @@ func (s *Sim) Reset(topo *simnet.Topology) {
 	}
 	for i := range s.ranks {
 		out := s.ranks[i].out
-		s.ranks[i] = rankState{id: int32(i), out: out[:0]}
+		coll := s.ranks[i].coll
+		s.ranks[i] = rankState{id: int32(i), out: out[:0], coll: coll[:0]}
 	}
 	// Truncating (not clearing) keeps backing arrays; chanIndex re-claims
 	// channel slots ring buffers included, and AllocSlot repopulates the
@@ -321,14 +337,27 @@ func (s *Sim) advance(r *rankState) {
 		}
 	}
 	for {
-		if r.prog == nil {
-			s.finish(r)
-			return
-		}
-		op, ok := r.prog.Next()
-		if !ok {
-			s.finish(r)
-			return
+		var op Op
+		if r.collIx < int32(len(r.coll)) {
+			// Drain the constituent ops of the collective in progress.
+			op = r.coll[r.collIx]
+			r.collIx++
+		} else {
+			if r.prog == nil {
+				s.finish(r)
+				return
+			}
+			var ok bool
+			op, ok = r.prog.Next()
+			if !ok {
+				s.finish(r)
+				return
+			}
+			if expandsToP2P(op) {
+				r.coll = AppendCollective(r.coll[:0], op, int(r.id), len(s.ranks))
+				r.collIx = 0
+				continue
+			}
 		}
 		switch op.Kind {
 		case OpCompute:
@@ -436,10 +465,7 @@ func (s *Sim) allReduceTimes(entry []float64, bytes int) []float64 {
 		return before * cost(r, peer)
 	}
 
-	p2 := 1
-	for p2*2 <= n {
-		p2 *= 2
-	}
+	p2 := FloorPow2(n)
 	// Fold extra ranks into the power-of-two core.
 	for r := p2; r < n; r++ {
 		peer := r - p2

@@ -164,6 +164,17 @@ type Schedule struct {
 	// iterations (Tnonwavefront): e.g. two 8-byte all-reduces for Sweep3D,
 	// one for Chimaera, or a stencil exchange for LU.
 	InterOps func(rank int) []simmpi.Op
+
+	// ConvBytes, when positive, appends a per-iteration convergence
+	// all-reduce of that many bytes after the inter-iteration operations —
+	// the global residual check that ends every LU iteration and
+	// accumulates Sweep3D/Chimaera sums. ConvAlg selects its execution:
+	// AlgAuto uses the closed-form exchange of paper equation (9), AlgRing
+	// and AlgRecDouble run the simulated algorithms whose point-to-point
+	// constituents contend for buses and interconnect links. Zero ConvBytes
+	// (the default) changes nothing: existing schedules are untouched.
+	ConvBytes int
+	ConvAlg   simmpi.CollAlg
 }
 
 // Validate reports configuration errors.
@@ -182,6 +193,12 @@ func (s *Schedule) Validate() error {
 	}
 	if s.BytesEW < 0 || s.BytesNS < 0 {
 		return fmt.Errorf("wavefront: negative message size")
+	}
+	if s.ConvBytes < 0 {
+		return fmt.Errorf("wavefront: negative convergence all-reduce size %d", s.ConvBytes)
+	}
+	if s.ConvBytes > 0 && !simmpi.ValidAllReduceAlg(s.ConvAlg) {
+		return fmt.Errorf("wavefront: convergence all-reduce cannot use algorithm %d", s.ConvAlg)
 	}
 	return nil
 }
@@ -236,11 +253,12 @@ type rankProgram struct {
 	tile  int // current tile within the sweep
 	stage int // index into tileOps
 
-	tileOps []simmpi.Op
-	inter   []simmpi.Op
-	interIx int
-	inInter bool
-	done    bool
+	tileOps  []simmpi.Op
+	inter    []simmpi.Op
+	interIx  int
+	inInter  bool
+	convDone bool // convergence all-reduce emitted for this iteration
+	done     bool
 }
 
 func (p *rankProgram) loadSweep() {
@@ -274,6 +292,14 @@ func (p *rankProgram) nextSlow() (simmpi.Op, bool) {
 				p.interIx++
 				return op, true
 			}
+			// The convergence all-reduce is synthesized from iterator state
+			// rather than appended to the InterOps slice: the slice is
+			// callee-owned, and appending would allocate once per rank per
+			// iteration.
+			if s.ConvBytes > 0 && !p.convDone {
+				p.convDone = true
+				return simmpi.AllReduceAlg(s.ConvBytes, s.ConvAlg), true
+			}
 			p.inInter = false
 			p.iter++
 			if p.iter >= s.Iterations {
@@ -300,9 +326,11 @@ func (p *rankProgram) nextSlow() (simmpi.Op, bool) {
 			p.loadSweep()
 			continue
 		}
-		// Iteration finished: run inter-iteration operations (possibly none).
+		// Iteration finished: run inter-iteration operations (possibly none),
+		// then the convergence all-reduce if one is configured.
 		p.inInter = true
 		p.interIx = 0
+		p.convDone = false
 		if s.InterOps != nil {
 			p.inter = s.InterOps(p.rank)
 		} else {
