@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	campaign -spec sweep.json [-workers N] [-out runs.jsonl] [-filter expr]
+//	campaign -spec sweep.json [-workers N] [-shards K] [-out runs.jsonl] [-filter expr]
 //	campaign -builtin example            # small built-in demonstration sweep
 //	campaign -builtin flagship           # the 240-run design-space sweep
 //	campaign -spec sweep.json -list      # show the expanded runs, don't execute
@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -37,9 +38,21 @@ func main() {
 	list := flag.Bool("list", false, "list the expanded runs without executing")
 	filter := flag.String("filter", "", "restrict runs, e.g. \"app=LU,p=64|256,override=baseline\"")
 	workers := flag.Int("workers", 0, "worker pool size (default: GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "override the spec's simulator shard count (results are bit-identical for every sharded count)")
 	out := flag.String("out", "", "write per-run results as JSONL to this file")
 	quiet := flag.Bool("quiet", false, "suppress the progress ticker and summary tables")
+	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := pf.Start()
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fail(err)
+		}
+	}()
 
 	if *printSpec != "" {
 		spec, ok := campaign.Builtin(*printSpec)
@@ -114,7 +127,7 @@ func main() {
 		outFile = f
 	}
 
-	eng := campaign.Engine{Workers: *workers}
+	eng := campaign.Engine{Workers: *workers, Shards: *shards}
 	if !*quiet {
 		eng.Progress = func(done, total int) {
 			if done == total || done%50 == 0 {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/machine"
+	"repro/internal/prof"
 	"repro/internal/simmpi"
 	"repro/internal/simnet"
 )
@@ -24,7 +25,13 @@ func main() {
 	htile := flag.Int("htile", 2, "tile height")
 	iters := flag.Int("iters", 2, "iterations to simulate")
 	cores := flag.Int("cores", 2, "cores per node")
+	shards := flag.Int("shards", 1, "conservative-parallel shard count (results are bit-identical for every sharded count)")
+	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := pf.Start()
+	check(err)
+	defer func() { check(stopProf()) }()
 
 	g := grid.Cube(*cube)
 	var bm apps.Benchmark
@@ -53,6 +60,7 @@ func main() {
 	check(err)
 	topo := simnet.NewTopology(mach.Params, dec.P(), simnet.GridPlacement(dec, mach))
 	sim := simmpi.New(topo)
+	sim.SetShards(*shards)
 	for r, prog := range sched.Programs() {
 		sim.SetProgram(r, prog)
 	}
@@ -69,6 +77,10 @@ func main() {
 	fmt.Printf("model comm:  %.1f%% of iteration\n", rep.CommPerIter/rep.TimePerIteration*100)
 	fmt.Printf("simulator:   %d events, %d messages, %d bus waits (%.1fµs total wait)\n",
 		res.Events, res.Sends, res.BusQueued, res.BusWait)
+	if k, windows, stalls := sim.ParallelStats(); k > 1 {
+		fmt.Printf("parallel:    %d shards, %d lookahead windows, %d barrier stalls\n",
+			k, windows, stalls)
+	}
 }
 
 func check(err error) {

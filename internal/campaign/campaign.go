@@ -40,6 +40,14 @@ type Spec struct {
 	Name string `json:"name"`
 	// Iterations is the wavefront iteration count of every run (default 1).
 	Iterations int `json:"iterations,omitempty"`
+	// Shards is the conservative-parallel shard count each simulator uses
+	// (simmpi.Sim.SetShards). Results are bit-identical for every sharded
+	// count (k ≥ 2), making this a pure throughput knob for huge-rank
+	// campaigns; 0 or 1 keeps the serial engine, whose legacy same-time
+	// tie order can differ microscopically in bus-contention statistics
+	// from the canonical sharded order on tie-heavy configurations (see
+	// internal/simmpi/parallel.go).
+	Shards int `json:"shards,omitempty"`
 
 	Apps     []AppDim        `json:"apps"`
 	Machines []MachineDim    `json:"machines"`
@@ -255,6 +263,9 @@ func (s Spec) Validate() error {
 	if s.Iterations < 0 {
 		return fmt.Errorf("campaign: spec %q has negative iterations %d", s.Name, s.Iterations)
 	}
+	if s.Shards < 0 {
+		return fmt.Errorf("campaign: spec %q has negative shards %d", s.Name, s.Shards)
+	}
 	if len(s.Apps) == 0 {
 		return fmt.Errorf("campaign: spec %q has no apps — add at least one entry to \"apps\"", s.Name)
 	}
@@ -338,6 +349,11 @@ type Run struct {
 	bm   apps.Benchmark
 	mach machine.Machine
 	dec  grid.Decomposition
+	// shards is the simulator's conservative-parallel shard count. It is
+	// a throughput knob, not part of the run's identity — every sharded
+	// count produces bit-identical results — so it never appears in keys
+	// or JSONL rows.
+	shards int
 }
 
 // Key renders the run's coordinates for listings and error messages.
@@ -393,6 +409,7 @@ func (s Spec) Expand() ([]Run, error) {
 						Collective: collectiveLabel(bm),
 						bm:         bm,
 						mach:       mach,
+						shards:     s.Shards,
 					}
 					dec, err := grid.SquareDecomposition(bm.App.Grid, p)
 					if err != nil {

@@ -70,6 +70,11 @@ type RunResult struct {
 type Engine struct {
 	// Workers is the pool size; non-positive means GOMAXPROCS.
 	Workers int
+	// Shards, if positive, overrides the spec's simulator shard count for
+	// every run (simmpi.Sim.SetShards). Every sharded count (≥ 2) yields
+	// bit-identical results — the override only trades worker-level for
+	// shard-level parallelism.
+	Shards int
 	// Progress, if non-nil, is called after each run completes with the
 	// completed and total counts. Calls are serialised.
 	Progress func(done, total int)
@@ -108,7 +113,7 @@ func (e Engine) Execute(runs []Run) ([]RunResult, error) {
 			defer wg.Done()
 			var sim *simmpi.Sim // lazily built, then reused via Reset
 			for i := range jobs {
-				results[i] = executeRun(runs[i], &sim)
+				results[i] = executeRun(runs[i], e.Shards, &sim)
 				if e.Progress != nil {
 					mu.Lock()
 					done++
@@ -141,9 +146,10 @@ func (e Engine) ExecuteSpec(s Spec) ([]RunResult, error) {
 }
 
 // executeRun evaluates the analytic model and the simulator for one run.
-// simp points at the worker's simulator slot: nil on the worker's first
-// run, Reset and reused afterwards.
-func executeRun(r Run, simp **simmpi.Sim) RunResult {
+// shards, if positive, overrides the run's own shard count. simp points at
+// the worker's simulator slot: nil on the worker's first run, Reset and
+// reused afterwards.
+func executeRun(r Run, shards int, simp **simmpi.Sim) RunResult {
 	start := time.Now()
 	out := RunResult{
 		Index:      r.Index,
@@ -182,6 +188,10 @@ func executeRun(r Run, simp **simmpi.Sim) RunResult {
 		(*simp).Reset(topo)
 	}
 	sim := *simp
+	if shards <= 0 {
+		shards = r.shards
+	}
+	sim.SetShards(shards)
 	for rank, prog := range sched.Programs() {
 		sim.SetProgram(rank, prog)
 	}

@@ -1,0 +1,215 @@
+package des
+
+import (
+	"math"
+	"testing"
+)
+
+// collect installs a recording handler and returns the log slice pointer.
+func collect(e *Engine) *[]Event {
+	var log []Event
+	e.SetHandler(func(ev Event) { log = append(log, ev) })
+	return &log
+}
+
+func TestCanonicalOrderByTimeCtxPri(t *testing.T) {
+	var e Engine
+	log := collect(&e)
+	// Scheduled deliberately out of canonical order: the engine must fire
+	// by (time, ctx, pri), never by scheduling order.
+	e.AtPriCtx(2, 1, 5, 1, 0, 0) // third: latest time
+	e.AtPriCtx(1, 1, 9, 1, 1, 0) // second: same (t, ctx), larger pri
+	e.AtPriCtx(1, 1, 2, 1, 2, 0) // first
+	e.Run()
+	if len(*log) != 3 {
+		t.Fatalf("ran %d events", len(*log))
+	}
+	want := []int32{2, 1, 0}
+	for i, ev := range *log {
+		if ev.Arg0 != want[i] {
+			t.Fatalf("order %v, want args %v", *log, want)
+		}
+	}
+}
+
+func TestCanonicalCtxBreaksTies(t *testing.T) {
+	var e Engine
+	log := collect(&e)
+	// Same time, pri order opposing ctx order: ctx must dominate.
+	e.AtPriCtx(5, 3, 1, 1, 0, 0) // later context, smaller pri
+	e.AtPriCtx(5, 2, 9, 1, 1, 0) // earlier context wins despite larger pri
+	e.Run()
+	if (*log)[0].Arg0 != 1 || (*log)[1].Arg0 != 0 {
+		t.Fatalf("ctx did not dominate pri: %v", *log)
+	}
+}
+
+func TestAtPriUsesCurrentTimeAsContext(t *testing.T) {
+	var e Engine
+	var ctxs []float64
+	e.SetHandler(func(ev Event) {
+		ctxs = append(ctxs, e.CurCtx())
+		if ev.Arg0 == 0 {
+			// Scheduled from now=1: the child must carry ctx 1 and lose
+			// the same-time tie against a pri-0 rival from context 2.
+			e.AtPri(4, 7, 1, 10, 0)
+		}
+		if ev.Arg0 == 1 {
+			e.AtPri(4, 0, 1, 11, 0)
+		}
+	})
+	e.AtPriCtx(1, 0, 0, 1, 0, 0)
+	e.AtPriCtx(2, 0, 1, 1, 1, 0)
+	e.Run()
+	// Execution: arg0@1 (ctx 0), arg1@2 (ctx 0), arg10@4 (ctx 1), arg11@4 (ctx 2).
+	want := []float64{0, 0, 1, 2}
+	if len(ctxs) != len(want) {
+		t.Fatalf("ran %d events", len(ctxs))
+	}
+	for i, c := range ctxs {
+		if c != want[i] {
+			t.Fatalf("CurCtx sequence %v, want %v", ctxs, want)
+		}
+	}
+}
+
+// TestCanonicalHeapStress drives eventHeap3 through a large interleaved
+// push/pop sequence with clustered keys and verifies pops come out in
+// exact (time, ctx, pri) order.
+func TestCanonicalHeapStress(t *testing.T) {
+	var h eventHeap3
+	rng := uint64(1)
+	next := func(n uint64) uint64 { // xorshift, deterministic
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	var live int
+	popSorted := func(prev *heapEvent3, hasPrev *bool) {
+		ev := h.pop()
+		live--
+		if *hasPrev && ev3Less(ev, *prev) {
+			t.Fatalf("pop out of order: %+v after %+v", ev, *prev)
+		}
+		*prev, *hasPrev = ev, true
+	}
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 3000; i++ {
+			tt := float64(next(16)) // clustered: many exact ties
+			ctx := float64(next(4))
+			if ctx > tt {
+				ctx = tt
+			}
+			h.push(heapEvent3{
+				tbits: math.Float64bits(tt),
+				ctx:   math.Float64bits(ctx),
+				order: next(8)<<slotBits | uint64(i),
+			})
+			live++
+		}
+		var prev heapEvent3
+		hasPrev := false
+		drain := live
+		if round < 3 {
+			drain = live / 2 // leave half in place across rounds
+		}
+		for i := 0; i < drain; i++ {
+			popSorted(&prev, &hasPrev)
+		}
+	}
+	if h.len() != 0 {
+		t.Fatalf("%d events left after drain", h.len())
+	}
+	h.push(heapEvent3{tbits: 1, ctx: 1, order: 1})
+	h.clear()
+	if h.len() != 0 {
+		t.Fatal("clear left events behind")
+	}
+}
+
+func TestCanonicalMixedWithSequencePanics(t *testing.T) {
+	var e Engine
+	collect(&e)
+	e.AtPri(1, 0, 1, 0, 0)
+	e.AtKind(1, 1, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixed canonical and sequence-ordered events did not panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestAtPriCtxRejectsBadArguments(t *testing.T) {
+	cases := []struct {
+		name string
+		call func(e *Engine)
+	}{
+		{"past time", func(e *Engine) { e.AtPriCtx(0.5, 0, 0, 1, 0, 0) }},
+		{"ctx after t", func(e *Engine) { e.AtPriCtx(2, 3, 0, 1, 0, 0) }},
+		{"negative ctx", func(e *Engine) { e.AtPriCtx(2, -1, 0, 1, 0, 0) }},
+		{"NaN ctx", func(e *Engine) { e.AtPriCtx(2, math.NaN(), 0, 1, 0, 0) }},
+		{"reserved kind", func(e *Engine) { e.AtPriCtx(2, 0, 0, 0, 0, 0) }},
+		{"oversized pri", func(e *Engine) { e.AtPriCtx(2, 0, maxPri+1, 1, 0, 0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var e Engine
+			collect(&e)
+			e.AtPriCtx(1, 0, 0, 1, 0, 0)
+			e.Run() // now = 1
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s accepted", tc.name)
+				}
+			}()
+			tc.call(&e)
+		})
+	}
+}
+
+func TestCanonicalRunBoundsAndPending(t *testing.T) {
+	var e Engine
+	log := collect(&e)
+	e.AtPri(1, 0, 1, 0, 0)
+	e.AtPri(2, 0, 1, 1, 0)
+	e.AtPri(3, 0, 1, 2, 0)
+	if n := e.Pending(); n != 3 {
+		t.Fatalf("Pending = %d, want 3", n)
+	}
+	if tt, ok := e.NextEventTime(); !ok || tt != 1 {
+		t.Fatalf("NextEventTime = %v, %v", tt, ok)
+	}
+	e.RunBefore(2) // strictly-before: runs only t=1
+	if len(*log) != 1 {
+		t.Fatalf("RunBefore(2) ran %d events", len(*log))
+	}
+	e.RunUntil(2) // inclusive: runs t=2
+	if len(*log) != 2 || e.Now() != 2 {
+		t.Fatalf("RunUntil(2): %d events, now=%v", len(*log), e.Now())
+	}
+	e.Run()
+	if len(*log) != 3 || e.Pending() != 0 {
+		t.Fatalf("drain: %d events, %d pending", len(*log), e.Pending())
+	}
+}
+
+func TestResetClearsCanonicalState(t *testing.T) {
+	var e Engine
+	collect(&e)
+	e.AtPriCtx(1, 0, 0, 1, 0, 0)
+	e.AtPriCtx(5, 2, 0, 1, 1, 0)
+	e.RunUntil(1)
+	e.Reset()
+	if e.Pending() != 0 || e.Now() != 0 || e.CurCtx() != 0 {
+		t.Fatalf("Reset left pending=%d now=%v ctx=%v", e.Pending(), e.Now(), e.CurCtx())
+	}
+	// The reset engine must accept either ordering mode afresh.
+	log := collect(&e)
+	e.AtKind(1, 1, 7, 0)
+	e.Run()
+	if len(*log) != 1 || (*log)[0].Arg0 != 7 {
+		t.Fatalf("reset engine run: %v", *log)
+	}
+}

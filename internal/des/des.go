@@ -27,11 +27,13 @@ import (
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
 	now     float64
+	curCtx  float64 // scheduling-context time of the executing canonical event
 	seq     uint64
 	ran     uint64
 	handler Handler
 	events  eventHeap
-	pay     []payload // pending-event payloads, indexed by heap order slot
+	events3 eventHeap3 // canonically ordered events (AtPri / AtPriCtx)
+	pay     []payload  // pending-event payloads, indexed by heap order slot
 	payFree []int32
 	fns     []func() // closure registry, indexed by closure payloads' arg0
 	fnFree  []int32
@@ -71,8 +73,9 @@ func (e *Engine) pushEvent(t float64, k Kind, arg0, arg1 int32) {
 // engine behaves bit-identically to a newly constructed one, so a long-lived
 // engine can serve back-to-back simulations without reallocating.
 func (e *Engine) Reset() {
-	e.now, e.seq, e.ran = 0, 0, 0
+	e.now, e.curCtx, e.seq, e.ran = 0, 0, 0, 0
 	e.events.clear()
+	e.events3.clear()
 	e.pay, e.payFree = e.pay[:0], e.payFree[:0]
 	for i := range e.fns {
 		e.fns[i] = nil // release closures of any abandoned pending events
@@ -87,7 +90,7 @@ func (e *Engine) Now() float64 { return e.now }
 func (e *Engine) EventsRun() uint64 { return e.ran }
 
 // Pending returns the number of scheduled events not yet executed.
-func (e *Engine) Pending() int { return e.events.len() }
+func (e *Engine) Pending() int { return e.events.len() + e.events3.len() }
 
 // SetHandler installs the dispatcher for typed events. It must be set
 // before the first typed event fires; closure events do not need it.
@@ -130,9 +133,73 @@ func (e *Engine) AtKind(t float64, k Kind, arg0, arg1 int32) {
 	e.pushEvent(t, k, arg0, arg1)
 }
 
+// maxPri bounds the explicit same-time priority of AtPriCtx so
+// pri<<slotBits cannot collide with the slot index bits.
+const maxPri = 1<<(64-slotBits) - 1
+
+// AtPriCtx schedules a typed event under the canonical order: events fire
+// in (time, ctx, pri) order instead of (time, sequence) order. ctx is the
+// virtual time of the scheduling context — the timestamp of the event whose
+// handler is scheduling this one — and pri is a content-derived priority of
+// at most 40 bits (maxPri) breaking the remaining ties.
+//
+// The canonical order exists for the conservative parallel scheduler
+// (Group). Sequence numbers are a global scheduling-order counter that a
+// barrier-injected cross-shard event cannot reproduce; (ctx, pri) carries
+// the same information piecewise: sequence order always refines
+// context-time order (an engine executes events in time order, so earlier
+// contexts schedule first), and a priority derived purely from event
+// content is identical however the event reached the engine. A simulation
+// whose same-context same-time ties are broken consistently by pri
+// therefore fires events in exactly the same order on one engine or many.
+//
+// Canonical and sequence-ordered events must not be mixed in one run: an
+// engine with pending events from both APIs panics on Step.
+func (e *Engine) AtPriCtx(t, ctx float64, pri uint64, k Kind, arg0, arg1 int32) {
+	if t < e.now {
+		panic(fmt.Sprintf("des: scheduling into the past (t=%v, now=%v)", t, e.now))
+	}
+	if ctx < 0 || ctx > t || math.IsNaN(ctx) {
+		panic(fmt.Sprintf("des: scheduling context %v outside [0, %v]", ctx, t))
+	}
+	if k == kindClosure {
+		panic("des: kind 0 is reserved for closure events")
+	}
+	if pri > maxPri {
+		panic(fmt.Sprintf("des: event priority %#x exceeds %d bits", pri, 64-slotBits))
+	}
+	slot := AllocSlot(&e.pay, &e.payFree, payload{kind: k, arg0: arg0, arg1: arg1})
+	if slot > slotMask {
+		panic("des: too many pending events")
+	}
+	t += 0.0   // normalise -0 so the bit-pattern ordering matches float order
+	ctx += 0.0 // likewise
+	e.events3.push(heapEvent3{
+		tbits: math.Float64bits(t),
+		ctx:   math.Float64bits(ctx),
+		order: pri<<slotBits | uint64(slot),
+	})
+}
+
+// AtPri is AtPriCtx with the current event as the scheduling context — the
+// form used for all inline scheduling; only barrier-injected events need an
+// explicit ctx.
+func (e *Engine) AtPri(t float64, pri uint64, k Kind, arg0, arg1 int32) {
+	e.AtPriCtx(t, e.now, pri, k, arg0, arg1)
+}
+
+// CurCtx returns the scheduling-context time of the canonical event being
+// executed — the ctx it was scheduled with. Handlers that defer part of an
+// event's effect to a later replay (the parallel link replay) use it to
+// reconstruct the event's position in the canonical order.
+func (e *Engine) CurCtx() float64 { return e.curCtx }
+
 // Step executes the next event, if any, advancing the clock to its
 // timestamp. It reports whether an event was executed.
 func (e *Engine) Step() bool {
+	if e.events3.len() > 0 {
+		return e.stepCanonical()
+	}
 	if e.events.len() == 0 {
 		return false
 	}
@@ -156,6 +223,25 @@ func (e *Engine) Step() bool {
 	return true
 }
 
+// stepCanonical executes the next canonically ordered event (AtPriCtx).
+func (e *Engine) stepCanonical() bool {
+	if e.events.len() > 0 {
+		panic("des: canonical (AtPriCtx) and sequence-ordered (AtKind/At) events pending in one engine")
+	}
+	ev := e.events3.pop()
+	slot := int32(ev.order & slotMask)
+	p := e.pay[slot]
+	e.payFree = append(e.payFree, slot)
+	e.now = ev.time()
+	e.curCtx = math.Float64frombits(ev.ctx)
+	e.ran++
+	if e.handler == nil {
+		panic(fmt.Sprintf("des: typed event kind %d with no handler installed", p.kind))
+	}
+	e.handler(Event{Time: e.now, Seq: ev.order >> slotBits, Kind: p.kind, Arg0: p.arg0, Arg1: p.arg1})
+	return true
+}
+
 // Run executes events until none remain and returns the final virtual time.
 func (e *Engine) Run() float64 {
 	for e.Step() {
@@ -163,15 +249,51 @@ func (e *Engine) Run() float64 {
 	return e.now
 }
 
+// topTime returns the earliest pending timestamp across both orderings.
+func (e *Engine) topTime() (t float64, ok bool) {
+	if e.events3.len() > 0 {
+		return e.events3.top().time(), true
+	}
+	if e.events.len() > 0 {
+		return e.events.top().time(), true
+	}
+	return 0, false
+}
+
 // RunUntil executes events with timestamps ≤ t, then advances the clock to
 // t if it has not already passed it.
 func (e *Engine) RunUntil(t float64) {
-	for e.events.len() > 0 && e.events.top().time() <= t {
+	for {
+		next, ok := e.topTime()
+		if !ok || next > t {
+			break
+		}
 		e.Step()
 	}
 	if e.now < t {
 		e.now = t
 	}
+}
+
+// RunBefore executes events with timestamps strictly less than t and leaves
+// the clock at the last executed event. Unlike RunUntil it never advances
+// the clock artificially, so events delivered later for times in [now, t)
+// remain schedulable — the property the sharded scheduler (Group) relies on
+// when it injects cross-shard events at window barriers.
+func (e *Engine) RunBefore(t float64) {
+	for {
+		next, ok := e.topTime()
+		if !ok || next >= t {
+			break
+		}
+		e.Step()
+	}
+}
+
+// NextEventTime returns the timestamp of the earliest pending event, or
+// ok == false when no events are pending.
+func (e *Engine) NextEventTime() (t float64, ok bool) {
+	return e.topTime()
 }
 
 // Resource models a single FCFS server (e.g. a node's shared memory bus).

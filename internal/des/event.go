@@ -206,3 +206,96 @@ func minPair(t0, o0 uint64, i0 int, t1, o1 uint64, i1 int) (uint64, uint64, int)
 
 // top returns the minimum event without removing it.
 func (h *eventHeap) top() heapEvent { return h.buf[h.base] }
+
+// heapEvent3 is the in-heap record of a canonically ordered event
+// (Engine.AtPriCtx): a 24-byte key triple ordered lexicographically by
+// (tbits, ctx, order). tbits and order are as in heapEvent, except that the
+// high bits of order hold the caller's content-derived priority instead of
+// a sequence number. ctx is the bit pattern of the scheduling context's
+// virtual time — the timestamp of the event whose handler scheduled this
+// one. Sequence numbers refine context-time order (an engine executes
+// events in time order, so a scheduling call from an earlier context always
+// draws the smaller sequence number); making the context time an explicit
+// key therefore never changes a serial run's order, but unlike a sequence
+// number it is a value a barrier coordinator can carry across shards.
+type heapEvent3 struct {
+	tbits uint64
+	ctx   uint64
+	order uint64
+}
+
+func (ev heapEvent3) time() float64 { return math.Float64frombits(ev.tbits) }
+
+func ev3Less(a, b heapEvent3) bool {
+	if a.tbits != b.tbits {
+		return a.tbits < b.tbits
+	}
+	if a.ctx != b.ctx {
+		return a.ctx < b.ctx
+	}
+	return a.order < b.order
+}
+
+// eventHeap3 is a plain 4-ary min-heap of heapEvent3 records. It serves the
+// canonical-order mode only — parallel shard engines, whose per-event cost
+// is dominated by cross-shard bookkeeping — so it skips the cache-line
+// alignment and branch-free sift tuning of eventHeap.
+type eventHeap3 struct {
+	buf []heapEvent3
+}
+
+func (h *eventHeap3) len() int { return len(h.buf) }
+
+func (h *eventHeap3) clear() { h.buf = h.buf[:0] }
+
+func (h *eventHeap3) push(ev heapEvent3) {
+	h.buf = append(h.buf, ev)
+	i := len(h.buf) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !ev3Less(ev, h.buf[p]) {
+			break
+		}
+		h.buf[i] = h.buf[p]
+		i = p
+	}
+	h.buf[i] = ev
+}
+
+func (h *eventHeap3) pop() heapEvent3 {
+	s := h.buf
+	n := len(s) - 1
+	min := s[0]
+	last := s[n]
+	h.buf = s[:n]
+	if n == 0 {
+		return min
+	}
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for j := c + 1; j < hi; j++ {
+			if ev3Less(s[j], s[best]) {
+				best = j
+			}
+		}
+		if !ev3Less(s[best], last) {
+			break
+		}
+		s[i] = s[best]
+		i = best
+	}
+	s[i] = last
+	return min
+}
+
+// top returns the minimum event without removing it.
+func (h *eventHeap3) top() heapEvent3 { return h.buf[0] }

@@ -1,0 +1,342 @@
+package des
+
+// Alternative pending-event queues for the priority-queue shootout
+// (queue_bench_test.go). Conservative parallel runs in the huge-run regime
+// put hundreds of thousands of pending events in every shard's queue, where
+// the O(log n) sift of a binary/4-ary heap is the textbook loser to the
+// amortised-O(1) calendar queue (Brown 1988) and ladder queue (Tang 2005).
+// Both are implemented here behind the same method set as eventHeap
+// (evQueue) and raced under the hold model at queue sizes from 1K to 1M.
+//
+// Outcome (see README "Priority-queue shootout"): the cache-aligned 4-ary
+// heap wins every hold-model size from 16K pending events up — the regime
+// sharded huge runs actually live in (calendar edges it out only at 1K). The
+// shootout's event keys are 16 bytes and the heap's sift touches one cache
+// line per level, so even at one million pending events a pop is ~5 line
+// reads, while both multi-list queues pay per-event slice bookkeeping,
+// bucket scans and occasional O(n) reorganisations — and, being
+// multi-array structures, they would also force an interface indirection
+// into Engine.Step. The Engine therefore keeps the concrete eventHeap; the
+// alternatives stay as the measured baseline that justifies it.
+
+import (
+	"math"
+	"sort"
+)
+
+// evQueue is the operation set a pending-event queue must provide. The
+// Engine deliberately holds a concrete eventHeap rather than this
+// interface — devirtualising push/pop is worth ~10% on the event rate —
+// so the interface exists for the shootout and for tests that race the
+// implementations against each other.
+type evQueue interface {
+	push(ev heapEvent)
+	pop() heapEvent
+	top() heapEvent
+	len() int
+	clear()
+}
+
+var (
+	_ evQueue = (*eventHeap)(nil)
+	_ evQueue = (*calQueue)(nil)
+	_ evQueue = (*ladQueue)(nil)
+)
+
+func evLess(a, b heapEvent) bool {
+	return a.tbits < b.tbits || (a.tbits == b.tbits && a.order < b.order)
+}
+
+// --- calendar queue (Brown 1988) ---
+
+// calQueue is a classic calendar queue: a power-of-two array of day
+// buckets of fixed width, the year being nb·width. Each bucket keeps its
+// events sorted descending so the minimum is at the tail; dequeue scans
+// days from the current one, falling back to a direct full search after a
+// fruitless year. The queue resizes (and re-estimates the bucket width
+// from the observed event spacing) when the population doubles or
+// quarters.
+type calQueue struct {
+	buckets [][]heapEvent
+	mask    int
+	width   float64
+	curVB   int64 // current virtual bucket (t / width)
+	n       int
+	up, dn  int // resize thresholds
+}
+
+func newCalQueue() *calQueue {
+	q := &calQueue{}
+	q.rebuild(4, 1)
+	return q
+}
+
+func (q *calQueue) len() int { return q.n }
+
+func (q *calQueue) clear() {
+	for i := range q.buckets {
+		q.buckets[i] = q.buckets[i][:0]
+	}
+	q.n = 0
+	q.curVB = 0
+}
+
+func (q *calQueue) rebuild(nb int, width float64) {
+	old := q.buckets
+	q.buckets = make([][]heapEvent, nb)
+	q.mask = nb - 1
+	q.width = width
+	q.up = 2 * nb
+	q.dn = nb/2 - 2
+	q.n = 0
+	q.curVB = math.MaxInt64
+	for _, b := range old {
+		for _, ev := range b {
+			q.push(ev)
+		}
+	}
+	if q.n == 0 {
+		q.curVB = 0
+	}
+}
+
+// resize re-estimates the bucket width as 3× the mean gap between the
+// first few pending events (Brown's sampling rule, simplified) and
+// redistributes into nb buckets.
+func (q *calQueue) resize(nb int) {
+	var sample []heapEvent
+	for _, b := range q.buckets {
+		sample = append(sample, b...)
+		if len(sample) >= 32 {
+			break
+		}
+	}
+	sort.Slice(sample, func(i, j int) bool { return evLess(sample[i], sample[j]) })
+	width := 1.0
+	if len(sample) >= 2 {
+		span := sample[len(sample)-1].time() - sample[0].time()
+		if gap := span / float64(len(sample)-1); gap > 0 {
+			width = 3 * gap
+		}
+	}
+	q.rebuild(nb, width)
+}
+
+func (q *calQueue) push(ev heapEvent) {
+	vb := int64(ev.time() / q.width)
+	i := int(vb) & q.mask
+	b := q.buckets[i]
+	j := len(b)
+	b = append(b, ev)
+	// Descending insertion: the bucket minimum stays at the tail.
+	for j > 0 && evLess(b[j-1], ev) {
+		b[j] = b[j-1]
+		j--
+	}
+	b[j] = ev
+	q.buckets[i] = b
+	q.n++
+	if vb < q.curVB {
+		q.curVB = vb
+	}
+	if q.n > q.up {
+		q.resize(2 * (q.mask + 1))
+	}
+}
+
+// locate advances the day scan to the bucket holding the minimum event and
+// returns its index. The caller must ensure the queue is non-empty.
+func (q *calQueue) locate() int {
+	for scanned := 0; scanned <= q.mask; scanned++ {
+		i := int(q.curVB) & q.mask
+		if b := q.buckets[i]; len(b) > 0 {
+			if b[len(b)-1].time() < float64(q.curVB+1)*q.width {
+				return i
+			}
+		}
+		q.curVB++
+	}
+	// A whole year without a hit: search all buckets directly and jump the
+	// calendar to the winner's day.
+	best, found := -1, heapEvent{}
+	for i, b := range q.buckets {
+		if len(b) == 0 {
+			continue
+		}
+		if tail := b[len(b)-1]; best < 0 || evLess(tail, found) {
+			best, found = i, tail
+		}
+	}
+	q.curVB = int64(found.time() / q.width)
+	return best
+}
+
+func (q *calQueue) top() heapEvent {
+	i := q.locate()
+	b := q.buckets[i]
+	return b[len(b)-1]
+}
+
+func (q *calQueue) pop() heapEvent {
+	i := q.locate()
+	b := q.buckets[i]
+	ev := b[len(b)-1]
+	q.buckets[i] = b[:len(b)-1]
+	q.n--
+	if q.n < q.dn {
+		q.resize((q.mask + 1) / 2)
+	}
+	return ev
+}
+
+// --- ladder queue (Tang, Goh & Thng 2005) ---
+
+const (
+	ladThreshold = 64 // max events a bucket may spill into bottom unsorted
+	ladMaxRungs  = 8
+)
+
+// ladQueue is a simplified ladder queue: far-future events pool unsorted in
+// top; when top must be drained it is scattered into a rung of buckets, and
+// a bucket is either sorted into bottom (small) or scattered into a finer
+// rung (large). Near-future events live pre-sorted in bottom (descending,
+// minimum at the tail), so steady-state dequeue is O(1) and sorting cost is
+// amortised over bucket spills.
+type ladQueue struct {
+	far            []heapEvent
+	farMin, farMax float64
+	farStart       float64 // events at or above this go to far
+	rungs          []ladRung
+	bottom         []heapEvent // sorted descending
+	n              int
+}
+
+type ladRung struct {
+	start, width float64
+	cur          int // buckets below cur are drained
+	count        int
+	buckets      [][]heapEvent
+}
+
+func newLadQueue() *ladQueue { return &ladQueue{} }
+
+func (q *ladQueue) len() int { return q.n }
+
+func (q *ladQueue) clear() { *q = ladQueue{} }
+
+func (q *ladQueue) push(ev heapEvent) {
+	q.n++
+	t := ev.time()
+	if len(q.far) == 0 && len(q.rungs) == 0 && len(q.bottom) == 0 {
+		q.farStart = 0
+	}
+	if t >= q.farStart {
+		if len(q.far) == 0 || t < q.farMin {
+			q.farMin = t
+		}
+		if len(q.far) == 0 || t > q.farMax {
+			q.farMax = t
+		}
+		q.far = append(q.far, ev)
+		return
+	}
+	for ri := range q.rungs {
+		r := &q.rungs[ri]
+		if t >= r.start+float64(r.cur)*r.width {
+			i := int((t - r.start) / r.width)
+			if i >= len(r.buckets) {
+				i = len(r.buckets) - 1
+			}
+			if i < r.cur {
+				i = r.cur
+			}
+			r.buckets[i] = append(r.buckets[i], ev)
+			r.count++
+			return
+		}
+	}
+	// Sorted descending insert into bottom.
+	b := q.bottom
+	j := len(b)
+	b = append(b, ev)
+	for j > 0 && evLess(b[j-1], ev) {
+		b[j] = b[j-1]
+		j--
+	}
+	b[j] = ev
+	q.bottom = b
+}
+
+// spawn scatters evs into a new rung covering [lo, hi] with one bucket per
+// event, appended below the existing rungs.
+func (q *ladQueue) spawn(evs []heapEvent, lo, hi float64) {
+	nb := len(evs)
+	width := (hi - lo) / float64(nb)
+	r := ladRung{start: lo, width: width, buckets: make([][]heapEvent, nb)}
+	if width <= 0 {
+		// Degenerate span (equal timestamps): a single bucket; the sort
+		// into bottom handles ordering.
+		r.width = 1
+		r.buckets = make([][]heapEvent, 1)
+	}
+	for _, ev := range evs {
+		i := int((ev.time() - r.start) / r.width)
+		if i >= len(r.buckets) {
+			i = len(r.buckets) - 1
+		}
+		r.buckets[i] = append(r.buckets[i], ev)
+	}
+	r.count = len(evs)
+	q.rungs = append(q.rungs, r)
+}
+
+// refill moves the earliest pending bucket into bottom, draining rungs and
+// top as needed. Caller guarantees the queue is non-empty.
+func (q *ladQueue) refill() {
+	for {
+		// Deepest rung holds the earliest events.
+		for len(q.rungs) > 0 {
+			r := &q.rungs[len(q.rungs)-1]
+			if r.count == 0 {
+				q.rungs = q.rungs[:len(q.rungs)-1]
+				continue
+			}
+			for len(r.buckets[r.cur]) == 0 {
+				r.cur++
+			}
+			evs := r.buckets[r.cur]
+			r.buckets[r.cur] = nil
+			r.count -= len(evs)
+			r.cur++
+			if len(evs) > ladThreshold && len(q.rungs) < ladMaxRungs && r.width > 0 {
+				lo := r.start + float64(r.cur-1)*r.width
+				q.spawn(evs, lo, lo+r.width)
+				continue
+			}
+			q.bottom = append(q.bottom, evs...)
+			sort.Slice(q.bottom, func(i, j int) bool { return evLess(q.bottom[j], q.bottom[i]) })
+			return
+		}
+		// No rungs left: scatter top into a fresh rung 0.
+		evs := q.far
+		q.far = nil
+		q.farStart = q.farMax
+		q.spawn(evs, q.farMin, q.farMax)
+	}
+}
+
+func (q *ladQueue) peek() *heapEvent {
+	if len(q.bottom) == 0 {
+		q.refill()
+	}
+	return &q.bottom[len(q.bottom)-1]
+}
+
+func (q *ladQueue) top() heapEvent { return *q.peek() }
+
+func (q *ladQueue) pop() heapEvent {
+	ev := *q.peek()
+	q.bottom = q.bottom[:len(q.bottom)-1]
+	q.n--
+	return ev
+}

@@ -1,0 +1,76 @@
+package des
+
+// The priority-queue shootout: the classic hold model (steady-state pop/
+// push at a random time increment) over the engine's 4-ary heap, the
+// calendar queue and the ladder queue, at queue sizes bracketing the
+// huge-run regime of the parallel simulator (a 64K-rank wavefront keeps
+// ~100K events pending per shard). Run with:
+//
+//	go test -run '^$' -bench BenchmarkQueueHold ./internal/des/
+//
+// Results feed the README's "Priority-queue shootout" table; the engine
+// keeps whichever wins (the heap — see queue.go).
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchHold(b *testing.B, q evQueue, size int, incr func(*rand.Rand) float64) {
+	rng := rand.New(rand.NewSource(1))
+	q.clear()
+	for i := 0; i < size; i++ {
+		q.push(mkEvent(rng.Float64()*float64(size)*0.01, uint64(i)))
+	}
+	seq := uint64(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := q.pop()
+		q.push(mkEvent(ev.time()+incr(rng), seq))
+		seq++
+	}
+}
+
+func BenchmarkQueueHold(b *testing.B) {
+	dists := []struct {
+		name string
+		incr func(*rand.Rand) float64
+	}{
+		// Exponential inter-event gaps: the M/M/1-ish default of the
+		// hold-model literature.
+		{"exp", func(r *rand.Rand) float64 { return r.ExpFloat64() }},
+		// Bimodal: mostly short hops with occasional far-future events,
+		// the shape wavefront protocols produce (o/L hops vs DMA+bus).
+		{"bimodal", func(r *rand.Rand) float64 {
+			if r.Intn(10) == 0 {
+				return 50 + 50*r.Float64()
+			}
+			return 0.1 * r.Float64()
+		}},
+	}
+	sizes := []int{1 << 10, 1 << 14, 1 << 17, 1 << 20}
+	for _, d := range dists {
+		for _, size := range sizes {
+			for name, q := range queueImpls() {
+				q := q
+				b.Run(d.name+"/n="+itoa(size)+"/"+name, func(b *testing.B) {
+					benchHold(b, q, size, d.incr)
+				})
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

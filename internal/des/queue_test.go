@@ -1,0 +1,120 @@
+package des
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// queueImpls enumerates the shootout contestants plus the engine's heap.
+func queueImpls() map[string]evQueue {
+	return map[string]evQueue{
+		"heap":     &eventHeap{},
+		"calendar": newCalQueue(),
+		"ladder":   newLadQueue(),
+	}
+}
+
+func mkEvent(t float64, seq uint64) heapEvent {
+	return heapEvent{tbits: math.Float64bits(t), order: seq<<slotBits | (seq & slotMask)}
+}
+
+// TestQueuesMatchHeapOrder drives every implementation through the same
+// randomized push/pop interleavings — clustered times, exact duplicates,
+// bursts — and demands the exact (time, order) sequence the heap produces.
+func TestQueuesMatchHeapOrder(t *testing.T) {
+	for name, q := range queueImpls() {
+		if name == "heap" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			ref := &eventHeap{}
+			rng := rand.New(rand.NewSource(11))
+			seq := uint64(0)
+			push := func(tm float64) {
+				ev := mkEvent(tm, seq)
+				seq++
+				ref.push(ev)
+				q.push(ev)
+			}
+			popBoth := func() {
+				if q.len() != ref.len() {
+					t.Fatalf("len %d, heap has %d", q.len(), ref.len())
+				}
+				want := ref.pop()
+				if got := q.top(); got != want {
+					t.Fatalf("top = (%v,%d), want (%v,%d)", got.time(), got.order, want.time(), want.order)
+				}
+				if got := q.pop(); got != want {
+					t.Fatalf("pop = (%v,%d), want (%v,%d)", got.time(), got.order, want.time(), want.order)
+				}
+			}
+			now := 0.0
+			for round := 0; round < 5000; round++ {
+				switch rng.Intn(5) {
+				case 0, 1: // advance-style push: near future
+					push(now + rng.Float64()*3)
+				case 2: // far-future burst
+					for i := 0; i < rng.Intn(8); i++ {
+						push(now + 50 + rng.Float64()*1000)
+					}
+				case 3: // exact-duplicate timestamps exercise the seq tiebreak
+					tm := now + rng.Float64()
+					push(tm)
+					push(tm)
+				case 4:
+					if ref.len() > 0 {
+						top := ref.top().time()
+						popBoth()
+						now = top
+					}
+				}
+			}
+			for ref.len() > 0 {
+				popBoth()
+			}
+			// Reuse after clear must behave like a fresh queue.
+			q.clear()
+			ref.clear()
+			now = 0
+			for i := 0; i < 500; i++ {
+				push(now + rng.Float64()*10)
+			}
+			for ref.len() > 0 {
+				popBoth()
+			}
+		})
+	}
+}
+
+// TestQueueHoldModel runs the classic hold model (pop one, push one at a
+// random increment) at steady-state sizes large enough to trigger calendar
+// resizes and ladder spawns.
+func TestQueueHoldModel(t *testing.T) {
+	for name, q := range queueImpls() {
+		if name == "heap" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			ref := &eventHeap{}
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 3000; i++ {
+				ev := mkEvent(rng.Float64()*100, uint64(i))
+				ref.push(ev)
+				q.push(ev)
+			}
+			seq := uint64(3000)
+			for i := 0; i < 20000; i++ {
+				want := ref.pop()
+				got := q.pop()
+				if got != want {
+					t.Fatalf("hold step %d: pop (%v,%d), want (%v,%d)", i, got.time(), got.order, want.time(), want.order)
+				}
+				ev := mkEvent(want.time()+rng.ExpFloat64(), seq)
+				seq++
+				ref.push(ev)
+				q.push(ev)
+			}
+		})
+	}
+}

@@ -1,0 +1,92 @@
+// Package prof wires the conventional -cpuprofile/-memprofile/-trace
+// triple into the simulator's command-line tools. Long sweeps and
+// huge-rank parallel runs are exactly the workloads worth profiling, and
+// every tool spelling the same three flags the same way keeps
+// `go tool pprof`/`go tool trace` workflows uniform across the repo.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the three profiling destinations; empty strings disable the
+// corresponding collector.
+type Flags struct {
+	CPU   string
+	Mem   string
+	Trace string
+}
+
+// Register declares -cpuprofile, -memprofile and -trace on the given flag
+// set (use flag.CommandLine for a command's top level) and returns the
+// struct the parsed values land in.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
+	return f
+}
+
+// Start begins the requested collectors and returns a stop function that
+// flushes them; the caller must run it before exiting (a plain defer is
+// fine when the command exits by returning from main). The heap profile is
+// written at stop time, after a GC, so it reflects live retained memory.
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+	if f.CPU != "" {
+		cpuFile, err = os.Create(f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			cpuFile = nil
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	if f.Trace != "" {
+		traceFile, err = os.Create(f.Trace)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() error {
+		cleanup()
+		if f.Mem == "" {
+			return nil
+		}
+		mf, err := os.Create(f.Mem)
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		defer mf.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		return nil
+	}, nil
+}

@@ -3,11 +3,29 @@ package simmpi
 // This file is the simulator's event-kind state machine. Each stage of a
 // message's lifetime that the seed implementation expressed as a nested
 // closure is one typed event kind here; Event.Arg0 carries the rank index
-// (evResume, evComm) or the message pool index (all others). Every kind
-// fires at exactly the virtual time its closure predecessor did and events
-// are scheduled in the same relative order, so the engine's (time, seq)
-// tiebreak — and therefore every simulation result — is bit-identical to
-// the closure implementation (see golden_test.go).
+// (evResume, evComm) or the message pool index (all others).
+//
+// Same-time event ordering comes in two modes, selected per run (shard.canon):
+//
+//   - Legacy (default serial run): events sharing a timestamp fire in
+//     scheduling order, the engine's (time, seq) tiebreak. Every kind fires
+//     at exactly the virtual time its closure predecessor did and events are
+//     scheduled in the same relative order, so serial results are
+//     bit-identical to the closure implementation (see golden_test.go).
+//   - Canonical (any run requested with SetShards(k > 1), including its
+//     single-shard serial core): same-time events fire in content order
+//     (evPri below). Scheduling order is a global property a sharded run
+//     cannot reproduce — a barrier-injected cross-shard event has no way to
+//     recover the sequence number the serial engine would have given it —
+//     so parallel mode derives the tie order from the event itself, making
+//     it identical for every shard count.
+//
+// In a parallel run (shard.xpart != nil) three hooks divert a message whose
+// stage belongs to another shard, or whose link reservation touches the
+// shared interconnect, into the shard's boundary buffers instead of
+// scheduling locally; the barrier coordinator (parallel.go) replays them in
+// a deterministic merged order. A default serial run never takes any hook,
+// so its instruction stream — and its results — are unchanged.
 
 import (
 	"fmt"
@@ -45,99 +63,157 @@ const (
 	evRdvArrive
 )
 
+// evPri is the canonical same-time priority of an event — kind-major, then
+// the acting rank, then the peer rank. It depends only on event content,
+// never on scheduling order, so the sharded scheduler's single-shard core
+// and its barrier-injected cross-shard events (which would otherwise pick
+// up arbitrary sequence numbers) fire same-time events in exactly the same
+// order for every shard count. Ranks are truncated to 18 bits: beyond 256K
+// ranks same-time events of distinct rank pairs could tie, which weakens
+// the cross-shard bit-identity guarantee but never the run's determinism.
+func evPri(kind des.Kind, owner, peer int32) uint64 {
+	const rankPriMask = 1<<18 - 1
+	return uint64(kind)<<36 |
+		uint64(uint32(owner)&rankPriMask)<<18 |
+		uint64(uint32(peer)&rankPriMask)
+}
+
+// at schedules a typed event under the run's same-time order — canonical
+// content order (evPri) in parallel mode, legacy scheduling order otherwise.
+// owner is the rank whose state (bus, channel, progress) the event acts on;
+// peer the rank on the other end of the interaction, or the owner itself
+// for purely local events.
+func (sh *shard) at(t float64, kind des.Kind, owner, peer, arg0 int32) {
+	if sh.canon {
+		sh.eng.AtPri(t, evPri(kind, owner, peer), kind, arg0, 0)
+		return
+	}
+	sh.eng.AtKind(t, kind, arg0, 0)
+}
+
+// atCtx schedules a typed event under the canonical order with an explicit
+// scheduling context — the virtual time at which the serial engine would
+// have scheduled it. Only the barrier coordinator needs it (parallel.go):
+// events it injects were emitted inside another shard's window, so the
+// injecting engine's own clock is not the scheduling context.
+func (sh *shard) atCtx(t, ctx float64, kind des.Kind, owner, peer, arg0 int32) {
+	sh.eng.AtPriCtx(t, ctx, evPri(kind, owner, peer), kind, arg0, 0)
+}
+
 // handle dispatches every typed event of the simulation.
-func (s *Sim) handle(ev des.Event) {
+func (sh *shard) handle(ev des.Event) {
 	switch ev.Kind {
 	case evResume:
-		s.advance(&s.ranks[ev.Arg0])
+		sh.advance(&sh.ranks[ev.Arg0])
 
 	case evComm:
-		r := &s.ranks[ev.Arg0]
-		s.execComm(r, r.pending)
+		r := &sh.ranks[ev.Arg0]
+		sh.execComm(r, r.pending)
 
 	case evDeliver:
-		s.deliver(ev.Arg0, s.eng.Now())
+		sh.deliver(ev.Arg0, sh.eng.Now())
 
 	case evEagerInject:
 		// Table 1(a) eq (1) continued: sender-side bus, then wire flight.
 		// With an interconnect attached the flight additionally routes over
 		// contended links (zero extra on the flat wire — bit-identical).
-		m := &s.msgs[ev.Arg0]
-		p := &s.par
-		inject := s.eng.Now()
-		wait := s.topo.AcquireBus(int(m.src), inject, int(m.bytes))
+		m := &sh.msgs[ev.Arg0]
+		p := &sh.par
+		inject := sh.eng.Now()
+		wait := sh.topo.AcquireBus(int(m.src), inject, int(m.bytes))
 		start := inject + wait
-		start += s.topo.AcquireLinks(int(m.src), int(m.dst), start, int(m.bytes))
+		if sh.deferLinks() {
+			sh.pushLinkOp(inject, start, ev.Arg0, false)
+			return
+		}
+		start += sh.topo.AcquireLinks(int(m.src), int(m.dst), start, int(m.bytes))
 		arrive := start + float64(m.bytes)*p.G + p.L
-		s.eng.AtKind(arrive, evEagerArrive, ev.Arg0, 0)
+		if m.cross {
+			sh.emitArrive(xkEagerArrive, arrive, ev.Arg0)
+			return
+		}
+		sh.at(arrive, evEagerArrive, m.dst, m.src, ev.Arg0)
 
 	case evEagerArrive:
-		m := &s.msgs[ev.Arg0]
-		arrive := s.eng.Now()
-		w2 := s.topo.AcquireBus(int(m.dst), arrive, int(m.bytes))
-		s.deliver(ev.Arg0, arrive+w2)
+		m := &sh.msgs[ev.Arg0]
+		arrive := sh.eng.Now()
+		w2 := sh.topo.AcquireBus(int(m.dst), arrive, int(m.bytes))
+		sh.deliver(ev.Arg0, arrive+w2)
 
 	case evChipDMA:
 		// Table 1(b) eq (6) continued: DMA via the shared bus.
-		m := &s.msgs[ev.Arg0]
-		start := s.eng.Now()
-		wait := s.topo.AcquireBus(int(m.src), start, int(m.bytes))
-		s.resumeAt(&s.ranks[m.src], start+wait)
-		ready := start + wait + float64(m.bytes)*s.par.Gdma
-		s.eng.AtKind(ready, evDeliver, ev.Arg0, 0)
+		m := &sh.msgs[ev.Arg0]
+		start := sh.eng.Now()
+		wait := sh.topo.AcquireBus(int(m.src), start, int(m.bytes))
+		sh.resumeAt(&sh.ranks[m.src], start+wait)
+		ready := start + wait + float64(m.bytes)*sh.par.Gdma
+		sh.at(ready, evDeliver, m.dst, m.src, ev.Arg0)
 
 	case evRTS:
-		s.msgs[ev.Arg0].rtsArrived = true
-		s.maybeHandshake(ev.Arg0)
+		sh.msgs[ev.Arg0].rtsArrived = true
+		sh.maybeHandshake(ev.Arg0)
 
 	case evCTS:
-		p := &s.par
-		inject := s.eng.Now() + p.H + p.O
-		s.eng.AtKind(inject, evRdvInject, ev.Arg0, 0)
+		m := &sh.msgs[ev.Arg0]
+		p := &sh.par
+		inject := sh.eng.Now() + p.H + p.O
+		sh.at(inject, evRdvInject, m.src, m.dst, ev.Arg0)
 
 	case evRdvInject:
-		m := &s.msgs[ev.Arg0]
-		p := &s.par
-		inject := s.eng.Now()
-		wait := s.topo.AcquireBus(int(m.src), inject, int(m.bytes))
-		s.resumeAt(&s.ranks[m.src], inject+wait)
+		m := &sh.msgs[ev.Arg0]
+		p := &sh.par
+		inject := sh.eng.Now()
+		wait := sh.topo.AcquireBus(int(m.src), inject, int(m.bytes))
+		sh.resumeAt(&sh.ranks[m.src], inject+wait)
 		start := inject + wait
-		start += s.topo.AcquireLinks(int(m.src), int(m.dst), start, int(m.bytes))
+		if sh.deferLinks() {
+			sh.pushLinkOp(inject, start, ev.Arg0, true)
+			return
+		}
+		start += sh.topo.AcquireLinks(int(m.src), int(m.dst), start, int(m.bytes))
 		arrive := start + float64(m.bytes)*p.G + p.L
-		s.eng.AtKind(arrive, evRdvArrive, ev.Arg0, 0)
+		if m.cross {
+			sh.emitArrive(xkRdvArrive, arrive, ev.Arg0)
+			return
+		}
+		sh.at(arrive, evRdvArrive, m.dst, m.src, ev.Arg0)
 
 	case evRdvArrive:
-		m := &s.msgs[ev.Arg0]
-		arrive := s.eng.Now()
-		w2 := s.topo.AcquireBus(int(m.dst), arrive, int(m.bytes))
+		m := &sh.msgs[ev.Arg0]
+		arrive := sh.eng.Now()
+		w2 := sh.topo.AcquireBus(int(m.dst), arrive, int(m.bytes))
 		ready := arrive + w2
 		m.ready = true
 		m.readyAt = ready
 		req := m.recv
-		s.resumeAt(&s.ranks[s.reqs[req].rank], ready+s.par.O)
-		s.unlink(&s.channels[m.ch], ev.Arg0)
-		s.freeReq(req)
-		s.freeMsg(ev.Arg0)
+		sh.resumeAt(&sh.ranks[sh.reqs[req].rank], ready+sh.par.O)
+		sh.unlink(&sh.channels[m.ch], ev.Arg0)
+		sh.freeReq(req)
+		sh.freeMsg(ev.Arg0)
 
 	default:
 		panic(fmt.Sprintf("simmpi: unknown event kind %d", ev.Kind))
 	}
 }
 
-func (s *Sim) execSend(r *rankState, peer, bytes int) {
-	if peer == int(r.id) || peer < 0 || peer >= len(s.ranks) {
+func (sh *shard) execSend(r *rankState, peer, bytes int) {
+	if peer == int(r.id) || peer < 0 || peer >= len(sh.ranks) {
 		panic(fmt.Sprintf("simmpi: rank %d sends to invalid peer %d", r.id, peer))
 	}
-	s.sends++
-	s.bytes += uint64(bytes)
+	if sh.xpart != nil && sh.xpart[peer] != sh.id {
+		sh.execSendCross(r, peer, bytes)
+		return
+	}
+	sh.sends++
+	sh.bytes += uint64(bytes)
 	ts := r.t
-	p := &s.par
-	path := s.topo.Path(int(r.id), peer)
-	ci := s.chanIndex(r.id, int32(peer))
-	mi := s.allocMsg()
-	m := &s.msgs[mi]
+	p := &sh.par
+	path := sh.topo.Path(int(r.id), peer)
+	ci := sh.chanIndex(r.id, int32(peer))
+	mi := sh.allocMsg()
+	m := &sh.msgs[mi]
 	m.src, m.dst, m.bytes, m.ch = r.id, int32(peer), int32(bytes), ci
-	ch := &s.channels[ci]
+	ch := &sh.channels[ci]
 	ch.msgs.pushBack(mi)
 	// Match a posted receive, if one is waiting.
 	if ch.recvs.n > 0 {
@@ -147,92 +223,106 @@ func (s *Sim) execSend(r *rankState, peer, bytes int) {
 	switch {
 	case path == logp.OnChip && bytes <= logp.EagerThreshold:
 		// Table 1(b) eq (5): ocopy + size×Gcopy + ocopy.
-		s.resumeAt(r, ts+p.Ocopy)
+		sh.resumeAt(r, ts+p.Ocopy)
 		ready := ts + p.Ocopy + float64(bytes)*p.Gcopy
-		s.eng.AtKind(ready, evDeliver, mi, 0)
+		sh.at(ready, evDeliver, m.dst, m.src, mi)
 
 	case path == logp.OnChip:
 		// Table 1(b) eq (6): o + size×Gdma + ocopy, DMA via the shared bus.
-		s.eng.AtKind(ts+p.Ochip, evChipDMA, mi, 0)
+		sh.at(ts+p.Ochip, evChipDMA, m.src, m.dst, mi)
 
 	case bytes <= logp.EagerThreshold:
 		// Table 1(a) eq (1): o + size×G + L + o; eager, sender buffers.
-		s.resumeAt(r, ts+p.O)
-		s.eng.AtKind(ts+p.O, evEagerInject, mi, 0)
+		sh.resumeAt(r, ts+p.O)
+		sh.at(ts+p.O, evEagerInject, m.src, m.dst, mi)
 
 	default:
 		// Table 1(a) eq (2): rendezvous. The sender stays blocked until the
 		// clear-to-send arrives and the data is injected.
 		m.rendezvous = true
-		s.eng.AtKind(ts+p.O+p.L, evRTS, mi, 0)
+		sh.at(ts+p.O+p.L, evRTS, m.dst, m.src, mi)
 	}
 }
 
 // maybeHandshake fires the rendezvous clear-to-send once both the RTS has
 // arrived at the receiver and a matching receive has been posted. It is
 // called at the virtual time of the later of those two events.
-func (s *Sim) maybeHandshake(mi int32) {
-	m := &s.msgs[mi]
+func (sh *shard) maybeHandshake(mi int32) {
+	m := &sh.msgs[mi]
 	if m.ctsIssued || !m.rtsArrived || m.recv == none {
 		return
 	}
 	m.ctsIssued = true
-	p := &s.par
-	th := s.eng.Now() // max(recv post, RTS arrival)
-	s.eng.AtKind(th+p.H+p.L, evCTS, mi, 0)
+	p := &sh.par
+	th := sh.eng.Now() // max(recv post, RTS arrival)
+	if m.cross {
+		// Receiver-side proxy of a cross-shard rendezvous: the CTS executes
+		// on the sender's shard. Routed through the barrier (parallel.go).
+		sh.emitCTS(th+p.H+p.L, mi)
+		return
+	}
+	sh.at(th+p.H+p.L, evCTS, m.src, m.dst, mi)
 }
 
 // deliver marks an eager or on-chip message's data available at the
 // receiver and completes a matched waiting receive.
-func (s *Sim) deliver(mi int32, ready float64) {
-	m := &s.msgs[mi]
+func (sh *shard) deliver(mi int32, ready float64) {
+	m := &sh.msgs[mi]
 	m.ready = true
 	m.readyAt = ready
 	if m.recv != none {
-		s.completeRecv(mi)
+		sh.completeRecv(mi)
 	}
 }
 
 // completeRecv finishes a matched, ready, non-rendezvous receive and
 // returns the message and its request to their pools.
-func (s *Sim) completeRecv(mi int32) {
-	m := &s.msgs[mi]
+func (sh *shard) completeRecv(mi int32) {
+	m := &sh.msgs[mi]
 	ri := m.recv
-	req := &s.reqs[ri]
+	req := &sh.reqs[ri]
 	start := m.readyAt
 	if req.postAt > start {
 		start = req.postAt
 	}
-	s.resumeAt(&s.ranks[req.rank], start+s.recvOverhead(m))
-	s.unlink(&s.channels[m.ch], mi)
-	s.freeReq(ri)
-	s.freeMsg(mi)
+	sh.resumeAt(&sh.ranks[req.rank], start+sh.recvOverhead(m))
+	sh.unlink(&sh.channels[m.ch], mi)
+	sh.freeReq(ri)
+	sh.freeMsg(mi)
 }
 
 // recvOverhead returns the receiver-side trailing processing time: o for
 // off-node messages (Table 1(a) eqs (3), (4b)), ocopy for on-chip messages
 // (Table 1(b) eqs (7), (8b)).
-func (s *Sim) recvOverhead(m *message) float64 {
-	if s.topo.Path(int(m.src), int(m.dst)) == logp.OnChip {
-		return s.par.Ocopy
+func (sh *shard) recvOverhead(m *message) float64 {
+	if sh.topo.Path(int(m.src), int(m.dst)) == logp.OnChip {
+		return sh.par.Ocopy
 	}
-	return s.par.O
+	return sh.par.O
 }
 
-func (s *Sim) execRecv(r *rankState, peer int) {
-	if peer == int(r.id) || peer < 0 || peer >= len(s.ranks) {
+func (sh *shard) execRecv(r *rankState, peer int) {
+	if peer == int(r.id) || peer < 0 || peer >= len(sh.ranks) {
 		panic(fmt.Sprintf("simmpi: rank %d receives from invalid peer %d", r.id, peer))
 	}
-	s.recvs++
-	ci := s.chanIndex(int32(peer), r.id)
-	ri := s.allocReq()
-	s.reqs[ri] = recvReq{rank: r.id, postAt: r.t}
-	ch := &s.channels[ci]
+	sh.recvs++
+	var ci int32
+	if sh.xpart != nil && sh.xpart[peer] != sh.id {
+		// Cross-shard sender: its messages are proxied into this shard's
+		// channel table at window barriers (parallel.go), addressed through
+		// the receiver's in-table rather than the sender's out-table.
+		ci = sh.chanIndexIn(int32(peer), r.id)
+	} else {
+		ci = sh.chanIndex(int32(peer), r.id)
+	}
+	ri := sh.allocReq()
+	sh.reqs[ri] = recvReq{rank: r.id, postAt: r.t}
+	ch := &sh.channels[ci]
 	// Match the first message not already claimed by an earlier receive
 	// (MPI non-overtaking ordering between a pair of ranks).
 	mi := none
 	for k := int32(0); k < ch.msgs.n; k++ {
-		if idx := ch.msgs.at(k); s.msgs[idx].recv == none {
+		if idx := ch.msgs.at(k); sh.msgs[idx].recv == none {
 			mi = idx
 			break
 		}
@@ -241,13 +331,13 @@ func (s *Sim) execRecv(r *rankState, peer int) {
 		ch.recvs.pushBack(ri)
 		return
 	}
-	m := &s.msgs[mi]
+	m := &sh.msgs[mi]
 	m.recv = ri
 	switch {
 	case m.rendezvous:
-		s.maybeHandshake(mi)
+		sh.maybeHandshake(mi)
 	case m.ready:
-		s.completeRecv(mi)
+		sh.completeRecv(mi)
 	}
 	// Otherwise the message is still in flight; deliver() completes it.
 }

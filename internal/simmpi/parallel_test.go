@@ -1,0 +1,276 @@
+package simmpi_test
+
+// Serial/parallel equivalence: the conservative sharded scheduler must be
+// bit-identical to the serial engine for every shard count — same Time,
+// same per-rank finish times, same traffic and contention statistics. The
+// property is exercised over the paper benchmarks (eager + on-chip paths,
+// all-reduce convergence), a rendezvous-heavy synthetic exchange, and a
+// torus interconnect (deferred link replay), plus deadlock reporting and
+// Reset-reuse of a sharded simulator.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+var shardCounts = []int{1, 2, 4, 8}
+
+func sameFull(t *testing.T, name string, a, b simmpi.Result) {
+	t.Helper()
+	sameResult(t, name, a, b)
+	for i := range a.ComputeTime {
+		if a.ComputeTime[i] != b.ComputeTime[i] {
+			t.Fatalf("%s: rank %d compute time diverged: %x vs %x", name, i, a.ComputeTime[i], b.ComputeTime[i])
+		}
+	}
+	if a.LinkRequests != b.LinkRequests || a.LinkQueued != b.LinkQueued ||
+		a.LinkBusy != b.LinkBusy || a.LinkWait != b.LinkWait {
+		t.Errorf("%s: link stats diverged:\n a %+v\n b %+v", name, a, b)
+	}
+}
+
+// runBench simulates one iteration of a benchmark over a fresh topology
+// with the given shard count, reporting the effective shard count used.
+func runBench(t *testing.T, bm apps.Benchmark, g grid.Grid, n, m int, mach machine.Machine, spec topo.Spec, shards int) (simmpi.Result, int) {
+	t.Helper()
+	dec := grid.MustDecompose(g, n, m)
+	sched, err := bm.Schedule(dec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := simnet.NewTopology(mach.Params, dec.P(), simnet.GridPlacement(dec, mach))
+	if err := tp.AttachInterconnect(spec); err != nil {
+		t.Fatal(err)
+	}
+	sim := simmpi.New(tp)
+	sim.SetShards(shards)
+	for r, p := range sched.Programs() {
+		sim.SetProgram(r, p)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _, _ := sim.ParallelStats()
+	return res, k
+}
+
+// TestParallelMatchesSerialBenchmarks: the paper benchmarks — eager,
+// on-chip and all-reduce traffic over a 2-cores-per-node machine — are
+// bit-identical at every shard count.
+func TestParallelMatchesSerialBenchmarks(t *testing.T) {
+	g := grid.Cube(32)
+	for _, tc := range []struct {
+		name string
+		bm   apps.Benchmark
+	}{
+		{"sweep3d", apps.Sweep3D(g, 2)},
+		{"lu", apps.LU(g)},
+	} {
+		base, _ := runBench(t, tc.bm, g, 8, 8, machine.XT4(), topo.Spec{}, 1)
+		for _, k := range shardCounts[1:] {
+			res, eff := runBench(t, tc.bm, g, 8, 8, machine.XT4(), topo.Spec{}, k)
+			if eff != k {
+				t.Fatalf("%s: requested %d shards, ran with %d", tc.name, k, eff)
+			}
+			sameFull(t, tc.name, base, res)
+		}
+	}
+}
+
+// TestParallelMatchesSerialTorus exercises the deferred link replay: every
+// interconnect reservation crosses the barrier and must reproduce the
+// serial acquisition order exactly, wait times included.
+func TestParallelMatchesSerialTorus(t *testing.T) {
+	g := grid.Cube(32)
+	spec := topo.Spec{Kind: topo.Torus2D}
+	base, _ := runBench(t, apps.Sweep3D(g, 2), g, 8, 8, machine.XT4(), spec, 1)
+	if base.LinkRequests == 0 {
+		t.Fatal("torus run never touched a link")
+	}
+	for _, k := range shardCounts[1:] {
+		res, eff := runBench(t, apps.Sweep3D(g, 2), g, 8, 8, machine.XT4(), spec, k)
+		if eff != k {
+			t.Fatalf("requested %d shards, ran with %d", k, eff)
+		}
+		sameFull(t, "torus", base, res)
+	}
+}
+
+// rendezvousPrograms builds a phased neighbour exchange over n ranks mixing
+// rendezvous-sized and eager messages with skewed compute and a closing
+// all-reduce — every cross-shard protocol path in one program.
+func rendezvousPrograms(sim *simmpi.Sim, n int) {
+	for r := 0; r < n; r++ {
+		right, left := (r+1)%n, (r+n-1)%n
+		var ops []simmpi.Op
+		ops = append(ops, simmpi.Compute(float64(r%7)*0.9))
+		if r%2 == 0 {
+			ops = append(ops,
+				simmpi.Send(right, 5000), simmpi.Recv(left),
+				simmpi.Recv(right), simmpi.Send(left, 200),
+			)
+		} else {
+			ops = append(ops,
+				simmpi.Recv(left), simmpi.Send(right, 5000),
+				simmpi.Send(left, 200), simmpi.Recv(right),
+			)
+		}
+		ops = append(ops, simmpi.AllReduce(16), simmpi.Compute(1.5))
+		if r%2 == 0 {
+			ops = append(ops, simmpi.Send(right, 3000), simmpi.Recv(left))
+		} else {
+			ops = append(ops, simmpi.Recv(left), simmpi.Send(right, 3000))
+		}
+		sim.SetProgram(r, simmpi.Ops(ops...))
+	}
+}
+
+func runRendezvous(t *testing.T, shards int) (simmpi.Result, int) {
+	t.Helper()
+	const n = 32
+	mach, err := machine.XT4MultiCore(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := simnet.NewTopology(mach.Params, n, simnet.LinearPlacement(mach))
+	sim := simmpi.New(tp)
+	sim.SetShards(shards)
+	rendezvousPrograms(sim, n)
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, windows, _ := sim.ParallelStats()
+	if k > 1 && windows == 0 {
+		t.Fatalf("parallel run with %d shards executed no windows", k)
+	}
+	return res, k
+}
+
+// TestParallelMatchesSerialRendezvous pins the cross-shard rendezvous
+// protocol: RTS, CTS and data arrival each cross the boundary separately.
+func TestParallelMatchesSerialRendezvous(t *testing.T) {
+	base, _ := runRendezvous(t, 1)
+	if base.Sends == 0 {
+		t.Fatal("exchange sent nothing")
+	}
+	for _, k := range shardCounts[1:] {
+		res, eff := runRendezvous(t, k)
+		if eff != k {
+			t.Fatalf("requested %d shards, ran with %d", k, eff)
+		}
+		sameFull(t, "rendezvous", base, res)
+	}
+}
+
+// TestParallelDeadlockReported: a rank blocking forever is reported with
+// the same diagnostic serially and in parallel.
+func TestParallelDeadlockReported(t *testing.T) {
+	run := func(shards int) error {
+		mach, err := machine.XT4MultiCore(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp := simnet.NewTopology(mach.Params, 8, simnet.LinearPlacement(mach))
+		sim := simmpi.New(tp)
+		sim.SetShards(shards)
+		// Rank 7 waits for a message rank 0 never sends; cross-shard at k=2.
+		sim.SetProgram(7, simmpi.Ops(simmpi.Recv(0)))
+		sim.SetProgram(0, simmpi.Ops(simmpi.Send(1, 64)))
+		sim.SetProgram(1, simmpi.Ops(simmpi.Recv(0)))
+		_, err = sim.Run()
+		return err
+	}
+	serr, perr := run(1), run(2)
+	if serr == nil || perr == nil {
+		t.Fatalf("deadlock not reported: serial=%v parallel=%v", serr, perr)
+	}
+	if serr.Error() != perr.Error() {
+		t.Errorf("deadlock diagnostics differ:\n serial   %v\n parallel %v", serr, perr)
+	}
+	if !strings.Contains(perr.Error(), "7") {
+		t.Errorf("blocked rank not named: %v", perr)
+	}
+}
+
+// TestParallelResetReuse: a sharded Sim reused through Reset (the campaign
+// engine's pattern) stays bit-identical to fresh serial runs, and the
+// shard-count knob survives the reset.
+func TestParallelResetReuse(t *testing.T) {
+	g := grid.Cube(32)
+	base, _ := runBench(t, apps.Sweep3D(g, 2), g, 8, 8, machine.XT4(), topo.Spec{}, 1)
+
+	mach := machine.XT4()
+	dec := grid.MustDecompose(g, 8, 8)
+	mk := func() *simnet.Topology {
+		return simnet.NewTopology(mach.Params, dec.P(), simnet.GridPlacement(dec, mach))
+	}
+	sim := simmpi.New(mk())
+	sim.SetShards(4)
+	for run := 0; run < 3; run++ {
+		if run > 0 {
+			sim.Reset(mk())
+		}
+		sched, err := apps.Sweep3D(g, 2).Schedule(dec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r, p := range sched.Programs() {
+			sim.SetProgram(r, p)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k, _, _ := sim.ParallelStats(); k != 4 {
+			t.Fatalf("run %d: shard knob lost across Reset: ran with %d shards", run, k)
+		}
+		sameFull(t, "reuse", base, res)
+	}
+}
+
+// TestTracerForcesSerial: span tracing is not synchronised across shards,
+// so a traced run must fall back to serial execution (and still trace).
+func TestTracerForcesSerial(t *testing.T) {
+	const n = 8
+	mach, err := machine.XT4MultiCore(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := simnet.NewTopology(mach.Params, n, simnet.LinearPlacement(mach))
+	sim := simmpi.New(tp)
+	sim.SetShards(2)
+	spans := 0
+	sim.SetTracer(countTracer{&spans})
+	for r := 0; r < n; r++ {
+		right, left := (r+1)%n, (r+n-1)%n
+		if r%2 == 0 {
+			sim.SetProgram(r, simmpi.Ops(simmpi.Send(right, 64), simmpi.Recv(left)))
+		} else {
+			sim.SetProgram(r, simmpi.Ops(simmpi.Recv(left), simmpi.Send(right, 64)))
+		}
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k, _, _ := sim.ParallelStats(); k != 1 {
+		t.Fatalf("traced run used %d shards", k)
+	}
+	if spans == 0 {
+		t.Fatal("tracer saw no spans")
+	}
+}
+
+type countTracer struct{ n *int }
+
+func (c countTracer) Span(rank int, op simmpi.OpKind, peer, bytes int, start, end float64) {
+	*c.n++
+}

@@ -9,7 +9,10 @@ import "repro/internal/des"
 // Messages and receive requests are referenced everywhere by int32 pool
 // index (and carried through the event heap in Event.Arg0), never by
 // pointer, so scheduling and matching perform zero heap allocations once
-// the pools and rings reach steady-state size.
+// the pools and rings reach steady-state size. Pools are per-shard: a
+// parallel run's shards never share a pool, and a message crossing shards
+// exists as two records — the sender-shard original and a receiver-shard
+// proxy — tied together by their proxy fields (parallel.go).
 
 // none marks an empty index reference (no matched receive, no message).
 const none int32 = -1
@@ -21,10 +24,12 @@ type message struct {
 	bytes      int32
 	ch         int32 // owning channel index (satellite: unlink takes no map lookup)
 	recv       int32 // matched recvReq pool index, or none
+	proxy      int32 // cross-shard: the peer shard's record for this message
 	rendezvous bool
 	ready      bool // data fully available at the receiver
 	rtsArrived bool // rendezvous: request-to-send reached the receiver
 	ctsIssued  bool // rendezvous: clear-to-send was generated
+	cross      bool // message crosses a shard boundary (parallel runs only)
 }
 
 // recvReq is a pooled posted-receive record. Completion always navigates
@@ -35,20 +40,20 @@ type recvReq struct {
 	rank   int32 // receiving rank
 }
 
-func (s *Sim) allocMsg() int32 {
-	return des.AllocSlot(&s.msgs, &s.msgFree, message{recv: none})
+func (sh *shard) allocMsg() int32 {
+	return des.AllocSlot(&sh.msgs, &sh.msgFree, message{recv: none, proxy: none})
 }
 
-func (s *Sim) freeMsg(i int32) { s.msgFree = append(s.msgFree, i) }
+func (sh *shard) freeMsg(i int32) { sh.msgFree = append(sh.msgFree, i) }
 
-func (s *Sim) allocReq() int32 {
-	return des.AllocSlot(&s.reqs, &s.reqFree, recvReq{})
+func (sh *shard) allocReq() int32 {
+	return des.AllocSlot(&sh.reqs, &sh.reqFree, recvReq{})
 }
 
-func (s *Sim) freeReq(i int32) { s.reqFree = append(s.reqFree, i) }
+func (sh *shard) freeReq(i int32) { sh.reqFree = append(sh.reqFree, i) }
 
-// port is one entry of a rank's flat channel table: the destination peer
-// and the index of the (src, dst) channel in Sim.channels.
+// port is one entry of a rank's flat channel table: the peer rank and the
+// index of the channel in the owning shard's channel slice.
 type port struct {
 	peer int32
 	ch   int32
@@ -58,23 +63,47 @@ type port struct {
 // first use. Wavefront ranks talk to at most four neighbours, so the
 // per-rank table is a handful of entries and a linear scan beats any map:
 // no hashing, no per-lookup allocation, one cache line.
-func (s *Sim) chanIndex(src, dst int32) int32 {
-	out := s.ranks[src].out
+func (sh *shard) chanIndex(src, dst int32) int32 {
+	out := sh.ranks[src].out
 	for i := range out {
 		if out[i].peer == dst {
 			return out[i].ch
 		}
 	}
-	ci := int32(len(s.channels))
-	if int(ci) < cap(s.channels) {
-		// Re-claim a slot left by Sim.Reset, keeping its ring buffers.
-		s.channels = s.channels[:ci+1]
-		s.channels[ci].msgs.clear()
-		s.channels[ci].recvs.clear()
-	} else {
-		s.channels = append(s.channels, channel{})
+	ci := sh.claimChannel()
+	sh.ranks[src].out = append(out, port{peer: dst, ch: ci})
+	return ci
+}
+
+// chanIndexIn is chanIndex for a cross-shard (src, dst) pair, resolved and
+// created in the *receiver's* shard: the sender's out-table belongs to the
+// sender's shard and its indices address that shard's channel slice, so
+// cross traffic is keyed off a separate per-receiver in-table instead. Only
+// the receiving shard (during windows) and the barrier coordinator (between
+// windows) touch it.
+func (sh *shard) chanIndexIn(src, dst int32) int32 {
+	in := sh.ranks[dst].in
+	for i := range in {
+		if in[i].peer == src {
+			return in[i].ch
+		}
 	}
-	s.ranks[src].out = append(out, port{peer: dst, ch: ci})
+	ci := sh.claimChannel()
+	sh.ranks[dst].in = append(in, port{peer: src, ch: ci})
+	return ci
+}
+
+// claimChannel returns a fresh channel slot, re-claiming one left behind by
+// Sim.Reset (keeping its ring buffers) when possible.
+func (sh *shard) claimChannel() int32 {
+	ci := int32(len(sh.channels))
+	if int(ci) < cap(sh.channels) {
+		sh.channels = sh.channels[:ci+1]
+		sh.channels[ci].msgs.clear()
+		sh.channels[ci].recvs.clear()
+	} else {
+		sh.channels = append(sh.channels, channel{})
+	}
 	return ci
 }
 
@@ -91,7 +120,7 @@ type channel struct {
 // at most one claimed message is in flight per channel, so the completed
 // message is the queue head and removal is O(1); the ordered-remove
 // fallback is defensive only.
-func (s *Sim) unlink(ch *channel, mi int32) {
+func (sh *shard) unlink(ch *channel, mi int32) {
 	if ch.msgs.n > 0 && ch.msgs.at(0) == mi {
 		ch.msgs.popFront()
 		return

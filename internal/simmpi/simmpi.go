@@ -22,6 +22,16 @@
 // bit-identical to the original closure-based implementation
 // (golden_test.go).
 //
+// # Parallel execution
+//
+// All of that state lives in per-shard structs (type shard): a serial run
+// is exactly one shard executing its engine to completion, and SetShards
+// partitions the ranks — node-aligned, so buses stay shard-local — across
+// K shards advanced concurrently inside conservative lookahead windows
+// (des.Group, parallel.go). Cross-shard messages become boundary records
+// merged deterministically at window barriers, so the parallel result is
+// bit-identical to the serial one for any shard count.
+//
 // The simulator serves as the reproduction's "measured" substrate: the
 // plug-and-play analytic model of internal/core is validated against it the
 // way the paper validates against the Cray XT4.
@@ -164,25 +174,19 @@ type Tracer interface {
 // reusing the event heap, message pools and channel tables of the previous
 // run.
 type Sim struct {
-	eng    des.Engine
 	topo   *simnet.Topology
-	par    logp.Params // snapshot of topo.Params (frozen per Topology contract); hot handlers avoid re-copying the struct
 	ranks  []rankState
 	tracer Tracer
-
-	// Pooled hot-path state (pool.go).
-	channels []channel
-	msgs     []message
-	msgFree  []int32
-	reqs     []recvReq
-	reqFree  []int32
-
 	arGens []arGen
 
-	running int
-	sends   uint64
-	recvs   uint64
-	bytes   uint64
+	// shards hold all hot-path state (engines, pools, channel tables,
+	// counters). A serial run is shards[0] executing alone; SetShards
+	// grows the slice and partitions the ranks (parallel.go). Shards are
+	// pointers so the engine handlers installed at construction stay valid
+	// as the slice grows.
+	shards  []*shard
+	nshards int // requested shard count (effective count resolved in Run)
+	prun    *parRun
 }
 
 type rankState struct {
@@ -196,6 +200,7 @@ type rankState struct {
 	pending Op // comm op waiting for its evComm event
 
 	out []port // flat channel table: peers this rank sends to
+	in  []port // parallel only: channels of cross-shard senders into this rank
 
 	// Collective sub-schedule in progress: the point-to-point constituent
 	// ops of an expanded collective (collops.go) and the next one to run.
@@ -214,6 +219,57 @@ type arGen struct {
 	bytes   int
 	entered int
 	times   []float64
+	pt      float64 // parallel only: completion context, max entry pt
+}
+
+// shard owns the event engine and every piece of message-machinery state
+// for a partition of the ranks. In a serial run there is exactly one shard
+// holding everything; in a parallel run each shard's state is touched only
+// by its own goroutine inside a window (and by the single-threaded barrier
+// coordinator between windows), so no locks appear on the hot path.
+type shard struct {
+	sim *Sim
+	id  int32
+	eng des.Engine
+
+	topo   *simnet.Topology
+	par    logp.Params // snapshot of topo.Params (frozen per Topology contract); hot handlers avoid re-copying the struct
+	tracer Tracer
+	ranks  []rankState // shared header of Sim.ranks; shards touch only their own partition
+
+	// xpart maps rank → owning shard; nil in a serial run, which is the
+	// hot path's "is this send cross-shard?" test. xlinks defers shared
+	// interconnect reservations to the barrier (parallel + interconnect).
+	xpart  []int32
+	xlinks bool
+
+	// canon selects the content-derived canonical same-time event order
+	// (events.go evPri) instead of the legacy scheduling-order tiebreak.
+	// Set for any run requested with SetShards(k > 1) — including ones
+	// that fall back to a single shard — never for a default serial run,
+	// whose event order stays bit-identical to the original closure
+	// implementation (golden_test.go).
+	canon bool
+
+	// Pooled hot-path state (pool.go).
+	channels []channel
+	msgs     []message
+	msgFree  []int32
+	reqs     []recvReq
+	reqFree  []int32
+
+	running int
+	sends   uint64
+	recvs   uint64
+	bytes   uint64
+
+	// Parallel-run boundary buffers (parallel.go): cross-shard message
+	// records, deferred link reservations and closed-form all-reduce
+	// entries emitted during a window, drained by the barrier coordinator.
+	xrecs   []crossRec
+	linkOps []linkOp
+	arEnter []arEntry
+	emit    int32 // per-window emission counter ordering boundary records
 }
 
 // New creates a simulation over the given topology. Programs are assigned
@@ -221,14 +277,50 @@ type arGen struct {
 func New(topo *simnet.Topology) *Sim {
 	s := &Sim{
 		topo:  topo,
-		par:   topo.Params,
 		ranks: make([]rankState, topo.Ranks()),
 	}
 	for i := range s.ranks {
 		s.ranks[i].id = int32(i)
 	}
-	s.eng.SetHandler(s.handle)
+	s.shards = []*shard{s.newShard(0)}
 	return s
+}
+
+// newShard constructs shard i with its handler installed and its snapshot
+// fields bound to the Sim's current topology.
+func (s *Sim) newShard(i int32) *shard {
+	sh := &shard{sim: s, id: i}
+	sh.bind()
+	sh.eng.SetHandler(sh.handle)
+	return sh
+}
+
+// bind refreshes a shard's per-run snapshot fields (topology, parameters,
+// rank table header, tracer). Called at construction and on every Reset —
+// Sim.ranks may have been reallocated for a larger rank count.
+func (sh *shard) bind() {
+	s := sh.sim
+	sh.topo = s.topo
+	sh.par = s.topo.Params
+	sh.ranks = s.ranks
+	sh.tracer = s.tracer
+	sh.xpart = nil
+	sh.xlinks = false
+	sh.canon = s.nshards > 1
+}
+
+// clear returns a shard's pools and counters to the pristine state while
+// keeping every backing array (see Sim.Reset).
+func (sh *shard) clear() {
+	sh.eng.Reset()
+	sh.channels = sh.channels[:0]
+	sh.msgs, sh.msgFree = sh.msgs[:0], sh.msgFree[:0]
+	sh.reqs, sh.reqFree = sh.reqs[:0], sh.reqFree[:0]
+	sh.running, sh.sends, sh.recvs, sh.bytes = 0, 0, 0, 0
+	sh.xrecs = sh.xrecs[:0]
+	sh.linkOps = sh.linkOps[:0]
+	sh.arEnter = sh.arEnter[:0]
+	sh.emit = 0
 }
 
 // Reset prepares the Sim for another run over the given topology,
@@ -238,11 +330,11 @@ func New(topo *simnet.Topology) *Sim {
 // perform near-zero heap allocations after the first. All programs and the
 // tracer are cleared; a reset Sim behaves bit-identically to a freshly
 // constructed one. The topology must itself be fresh or Reset (its buses
-// start a new virtual time axis).
+// start a new virtual time axis). The shard-count knob (SetShards)
+// survives the reset, as does the capacity of every shard built for
+// earlier parallel runs.
 func (s *Sim) Reset(topo *simnet.Topology) {
-	s.eng.Reset()
 	s.topo = topo
-	s.par = topo.Params
 	n := topo.Ranks()
 	if n <= cap(s.ranks) {
 		s.ranks = s.ranks[:n]
@@ -253,34 +345,50 @@ func (s *Sim) Reset(topo *simnet.Topology) {
 	}
 	for i := range s.ranks {
 		out := s.ranks[i].out
+		in := s.ranks[i].in
 		coll := s.ranks[i].coll
-		s.ranks[i] = rankState{id: int32(i), out: out[:0], coll: coll[:0]}
+		s.ranks[i] = rankState{id: int32(i), out: out[:0], in: in[:0], coll: coll[:0]}
 	}
 	// Truncating (not clearing) keeps backing arrays; chanIndex re-claims
 	// channel slots ring buffers included, and AllocSlot repopulates the
 	// pools in the same order a fresh Sim would.
-	s.channels = s.channels[:0]
-	s.msgs, s.msgFree = s.msgs[:0], s.msgFree[:0]
-	s.reqs, s.reqFree = s.reqs[:0], s.reqFree[:0]
 	s.arGens = s.arGens[:0]
 	s.tracer = nil
-	s.running, s.sends, s.recvs, s.bytes = 0, 0, 0, 0
+	for _, sh := range s.shards {
+		sh.clear()
+		sh.bind()
+	}
 }
 
 // SetProgram assigns rank r's program.
 func (s *Sim) SetProgram(r int, p Program) { s.ranks[r].prog = p }
 
-// SetTracer installs a span tracer; pass nil to disable.
+// SetTracer installs a span tracer; pass nil to disable. A Sim with a
+// tracer always executes serially: span callbacks are not synchronised
+// across shard goroutines.
 func (s *Sim) SetTracer(t Tracer) { s.tracer = t }
 
 // Run executes the simulation to completion. It returns an error if any
 // rank blocks forever (deadlock) — e.g. a receive with no matching send.
 func (s *Sim) Run() (Result, error) {
-	s.running = len(s.ranks)
-	for i := range s.ranks {
-		s.advance(&s.ranks[i])
+	if k := s.effectiveShards(); k > 1 {
+		return s.runParallel(k)
 	}
-	end := s.eng.Run()
+	sh := s.shards[0]
+	sh.bind()
+	sh.running = len(s.ranks)
+	for i := range s.ranks {
+		sh.advance(&s.ranks[i])
+	}
+	end := sh.eng.Run()
+	return s.assemble(end)
+}
+
+// assemble folds the final engine clock and the per-shard counters into a
+// Result and performs the deadlock check. The serial and parallel paths
+// share it: every field is a sum or max over shards, so the fold is
+// independent of how many shards the run used.
+func (s *Sim) assemble(end float64) (Result, error) {
 	// Pure-compute programs advance rank-local clocks without scheduling
 	// events, so the finish time is the later of the engine clock and the
 	// last rank-local completion.
@@ -294,30 +402,35 @@ func (s *Sim) Run() (Result, error) {
 		Time:        end,
 		RankFinish:  make([]float64, len(s.ranks)),
 		ComputeTime: make([]float64, len(s.ranks)),
-		Sends:       s.sends,
-		Recvs:       s.recvs,
-		BytesSent:   s.bytes,
-		Events:      s.eng.EventsRun(),
+	}
+	stuck := 0
+	for _, sh := range s.shards {
+		res.Sends += sh.sends
+		res.Recvs += sh.recvs
+		res.BytesSent += sh.bytes
+		res.Events += sh.eng.EventsRun()
+		stuck += sh.running
 	}
 	res.BusRequests, res.BusQueued, res.BusBusy, res.BusWait = s.topo.BusStats()
 	res.LinkRequests, res.LinkQueued, res.LinkBusy, res.LinkWait = s.topo.LinkStats()
 
-	var stuck []int
+	var blocked []int
 	for i := range s.ranks {
 		r := &s.ranks[i]
 		if !r.done {
-			stuck = append(stuck, int(r.id))
+			blocked = append(blocked, int(r.id))
 			continue
 		}
 		res.RankFinish[r.id] = r.t
 		res.ComputeTime[r.id] = r.compute
 	}
-	if len(stuck) > 0 {
-		sort.Ints(stuck)
-		if len(stuck) > 8 {
-			return res, fmt.Errorf("simmpi: deadlock, %d ranks blocked (first: %v)", len(stuck), stuck[:8])
+	_ = stuck
+	if len(blocked) > 0 {
+		sort.Ints(blocked)
+		if len(blocked) > 8 {
+			return res, fmt.Errorf("simmpi: deadlock, %d ranks blocked (first: %v)", len(blocked), blocked[:8])
 		}
-		return res, fmt.Errorf("simmpi: deadlock, ranks blocked: %v", stuck)
+		return res, fmt.Errorf("simmpi: deadlock, ranks blocked: %v", blocked)
 	}
 	return res, nil
 }
@@ -325,15 +438,15 @@ func (s *Sim) Run() (Result, error) {
 // advance executes r's program from the current virtual time until the rank
 // blocks on a communication operation or finishes. Precondition: the
 // engine's clock does not exceed r.t.
-func (s *Sim) advance(r *rankState) {
+func (sh *shard) advance(r *rankState) {
 	if r.inComm {
 		r.inComm = false
-		if s.tracer != nil {
+		if sh.tracer != nil {
 			peer := int(r.curOp.Peer)
 			if r.curOp.Kind == OpAllReduce {
 				peer = -1
 			}
-			s.tracer.Span(int(r.id), r.curOp.Kind, peer, int(r.curOp.Bytes), r.opStart, r.t)
+			sh.tracer.Span(int(r.id), r.curOp.Kind, peer, int(r.curOp.Bytes), r.opStart, r.t)
 		}
 	}
 	for {
@@ -344,34 +457,34 @@ func (s *Sim) advance(r *rankState) {
 			r.collIx++
 		} else {
 			if r.prog == nil {
-				s.finish(r)
+				sh.finish(r)
 				return
 			}
 			var ok bool
 			op, ok = r.prog.Next()
 			if !ok {
-				s.finish(r)
+				sh.finish(r)
 				return
 			}
 			if expandsToP2P(op) {
-				r.coll = AppendCollective(r.coll[:0], op, int(r.id), len(s.ranks))
+				r.coll = AppendCollective(r.coll[:0], op, int(r.id), len(sh.ranks))
 				r.collIx = 0
 				continue
 			}
 		}
 		switch op.Kind {
 		case OpCompute:
-			if s.tracer != nil && op.Dur > 0 {
-				s.tracer.Span(int(r.id), OpCompute, -1, 0, r.t, r.t+op.Dur)
+			if sh.tracer != nil && op.Dur > 0 {
+				sh.tracer.Span(int(r.id), OpCompute, -1, 0, r.t, r.t+op.Dur)
 			}
 			r.compute += op.Dur
 			r.t += op.Dur
 		case OpSend, OpRecv, OpAllReduce:
-			if r.t > s.eng.Now() {
+			if r.t > sh.eng.Now() {
 				r.pending = op
-				s.eng.AtKind(r.t, evComm, r.id, 0)
+				sh.at(r.t, evComm, r.id, r.id, r.id)
 			} else {
-				s.execComm(r, op)
+				sh.execComm(r, op)
 			}
 			return
 		default:
@@ -380,33 +493,49 @@ func (s *Sim) advance(r *rankState) {
 	}
 }
 
-func (s *Sim) finish(r *rankState) {
+func (sh *shard) finish(r *rankState) {
 	r.done = true
-	s.running--
+	sh.running--
 }
 
 // resumeAt unblocks r at virtual time t ≥ now.
-func (s *Sim) resumeAt(r *rankState, t float64) {
+func (sh *shard) resumeAt(r *rankState, t float64) {
 	r.t = t
-	s.eng.AtKind(t, evResume, r.id, 0)
+	sh.at(t, evResume, r.id, r.id, r.id)
+}
+
+// resumeAtCtx is resumeAt with an explicit scheduling context, for resumes
+// injected by the barrier coordinator (parallel.go).
+func (sh *shard) resumeAtCtx(r *rankState, t, ctx float64) {
+	r.t = t
+	sh.atCtx(t, ctx, evResume, r.id, r.id, r.id)
 }
 
 // execComm performs a communication op at engine time == r.t.
-func (s *Sim) execComm(r *rankState, op Op) {
+func (sh *shard) execComm(r *rankState, op Op) {
 	r.inComm = true
 	r.curOp = op
 	r.opStart = r.t
 	switch op.Kind {
 	case OpSend:
-		s.execSend(r, int(op.Peer), int(op.Bytes))
+		sh.execSend(r, int(op.Peer), int(op.Bytes))
 	case OpRecv:
-		s.execRecv(r, int(op.Peer))
+		sh.execRecv(r, int(op.Peer))
 	case OpAllReduce:
-		s.execAllReduce(r, int(op.Bytes))
+		sh.execAllReduce(r, int(op.Bytes))
 	}
 }
 
-func (s *Sim) execAllReduce(r *rankState, bytes int) {
+func (sh *shard) execAllReduce(r *rankState, bytes int) {
+	if sh.xpart != nil {
+		// Parallel run: the closed-form all-reduce is a global operation —
+		// record the entry and let the barrier coordinator complete the
+		// generation once every rank has entered (parallel.go).
+		sh.arEnter = append(sh.arEnter, arEntry{t: r.t, pt: sh.eng.Now(), gen: int32(r.arGen), rank: r.id, bytes: int32(bytes)})
+		r.arGen++
+		return
+	}
+	s := sh.sim
 	key := r.arGen
 	for len(s.arGens) <= key {
 		s.arGens = append(s.arGens, arGen{})
@@ -428,8 +557,8 @@ func (s *Sim) execAllReduce(r *rankState, bytes int) {
 	times := gen.times
 	gen.times = nil // release; the generation is complete
 	done := s.allReduceTimes(times, bytes)
-	for i := range s.ranks {
-		s.resumeAt(&s.ranks[i], done[i])
+	for i := range sh.ranks {
+		sh.resumeAt(&sh.ranks[i], done[i])
 	}
 }
 
@@ -439,7 +568,8 @@ func (s *Sim) execAllReduce(r *rankState, bytes int) {
 // off-node exchanges of cores sharing a node serialise through the node's
 // single NIC — the behaviour the paper's closed form (equation (9)) models
 // with its ×C factor. The emergent time is compared against equation (9)
-// in the experiments.
+// in the experiments. It reads only immutable topology state, so the
+// parallel path's barrier coordinator can call it as safely as a shard.
 func (s *Sim) allReduceTimes(entry []float64, bytes int) []float64 {
 	p := s.topo.Params
 	n := len(entry)
