@@ -20,9 +20,14 @@
 //     (fails below (1−threshold)×baseline)
 //   - barrier_stalls_per_window: sharded-scheduler load imbalance,
 //     deterministic; may not exceed baseline + 0.25
+//   - events_per_sec_obs_disabled: the event-rate workload with the
+//     observability recorder explicitly detached — holds the nil-guarded
+//     hooks to their zero-cost-when-disabled claim
+//     (fails below (1−threshold)×baseline)
 //
-// The two parallel gates are skipped when the baseline predates the
-// sharded scheduler and lacks the fields, so old blessed baselines pass.
+// The parallel and obs-disabled gates are skipped when the baseline
+// predates the corresponding subsystem and lacks the fields, so old
+// blessed baselines pass.
 //
 // Exit status 0 when every gate passes, 1 on regression, 2 on bad input.
 // To bless a new baseline, see README.md ("CI performance gate").
@@ -48,6 +53,10 @@ type metrics struct {
 	// old blessed baseline still passes).
 	ParallelEventsPerSec   float64 `json:"parallel_events_per_sec"`
 	BarrierStallsPerWindow float64 `json:"barrier_stalls_per_window"`
+
+	// Observability-disabled throughput (absent in baselines recorded
+	// before the obs layer existed — the gate is skipped then).
+	EventsPerSecObsDisabled float64 `json:"events_per_sec_obs_disabled"`
 }
 
 func load(path string) (metrics, error) {
@@ -104,6 +113,11 @@ func main() {
 		gate("parallel_events_per_sec", base.ParallelEventsPerSec, cur.ParallelEventsPerSec)
 	} else {
 		fmt.Printf("%-22s skipped (baseline lacks parallel metrics)\n", "parallel_events_per_sec")
+	}
+	if base.EventsPerSecObsDisabled > 0 {
+		gate("events/s_obs_disabled", base.EventsPerSecObsDisabled, cur.EventsPerSecObsDisabled)
+	} else {
+		fmt.Printf("%-22s skipped (baseline lacks obs-disabled metric)\n", "events/s_obs_disabled")
 	}
 
 	// Allocations are deterministic, not noisy: any real increase is a leak

@@ -51,6 +51,12 @@ type report struct {
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	BytesPerOp     int64   `json:"bytes_per_op"`
 
+	// The same workload with the observability recorder explicitly
+	// detached (simmpi.Sim.SetObs(nil)): the nil-guarded hooks must keep
+	// the disabled path as fast as having no hooks at all, and this metric
+	// is what the benchgate holds to that claim.
+	EventsPerSecObsDisabled float64 `json:"events_per_sec_obs_disabled"`
+
 	// Campaign batch throughput on the built-in example sweep: how many
 	// model+simulator runs per second the worker pool sustains.
 	CampaignRuns       int     `json:"campaign_runs"`
@@ -95,8 +101,11 @@ func campaignRate(repeats int) (runs, workers int, seconds float64) {
 }
 
 // eventRate runs the event-rate workload iters times (after one warm-up)
-// and measures wall time and heap allocations per op.
-func eventRate(iters int) (nsPerOp float64, events uint64, allocsPerOp, bytesPerOp int64) {
+// and measures wall time and heap allocations per op. obsDisabled runs the
+// workload with the observability recorder explicitly detached via
+// SetObs(nil) — semantically identical to never attaching one, measured
+// separately so the nil-guarded hook cost is tracked as its own metric.
+func eventRate(iters int, obsDisabled bool) (nsPerOp float64, events uint64, allocsPerOp, bytesPerOp int64) {
 	g := grid.Cube(64)
 	bm := apps.Sweep3D(g, 2)
 	mach := machine.XT4()
@@ -108,6 +117,9 @@ func eventRate(iters int) (nsPerOp float64, events uint64, allocsPerOp, bytesPer
 		}
 		topo := simnet.NewTopology(mach.Params, dec.P(), simnet.GridPlacement(dec, mach))
 		sim := simmpi.New(topo)
+		if obsDisabled {
+			sim.SetObs(nil)
+		}
 		for r, p := range sched.Programs() {
 			sim.SetProgram(r, p)
 		}
@@ -173,7 +185,8 @@ func main() {
 	iters := flag.Int("benchtime", 10, "iteration count for the event-rate benchmark")
 	flag.Parse()
 
-	nsPerOp, events, allocsPerOp, bytesPerOp := eventRate(*iters)
+	nsPerOp, events, allocsPerOp, bytesPerOp := eventRate(*iters, false)
+	obsNsPerOp, obsEvents, _, _ := eventRate(*iters, true)
 	parNsPerOp, parEvents, parWindows, parStalls := parallelRate(*iters, 4)
 	campRuns, campWorkers, campSeconds := campaignRate(*iters)
 
@@ -186,6 +199,8 @@ func main() {
 		AllocsPerOp:    allocsPerOp,
 		AllocsPerEvent: float64(allocsPerOp) / float64(events),
 		BytesPerOp:     bytesPerOp,
+
+		EventsPerSecObsDisabled: float64(obsEvents) / (obsNsPerOp / 1e9),
 
 		CampaignRuns:       campRuns,
 		CampaignWorkers:    campWorkers,

@@ -15,6 +15,12 @@
 // The JSONL output contains only deterministic fields: the same spec
 // produces byte-identical files for any -workers value. Filters restrict
 // the sweep, e.g. -filter "app=LU,p=64|256,override=baseline".
+//
+// Observability: -hist attaches duration histograms to every run (a
+// "hists" field per JSONL row), while -chrome-trace and -sample-every
+// flight-record the first filtered run into a Chrome trace-event timeline
+// and a time-series CSV. All three outputs are byte-identical for any
+// -workers or -shards value.
 package main
 
 import (
@@ -22,12 +28,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/prof"
 )
 
@@ -40,6 +46,11 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (default: GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "override the spec's simulator shard count (results are bit-identical for every sharded count)")
 	out := flag.String("out", "", "write per-run results as JSONL to this file")
+	hist := flag.Bool("hist", false, "attach duration-histogram percentiles to every run's JSONL row")
+	chromeTrace := flag.String("chrome-trace", "", "write a Chrome trace-event timeline of the first run to this file")
+	sampleEvery := flag.Float64("sample-every", 0, "sample the first run's time-series metrics every Δt µs")
+	sampleOut := flag.String("sample-out", "samples.csv", "time-series CSV path for -sample-every")
+	traceWindows := flag.Bool("trace-windows", false, "include per-shard lookahead-window tracks in -chrome-trace (these depend on -shards)")
 	quiet := flag.Bool("quiet", false, "suppress the progress ticker and summary tables")
 	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -115,10 +126,8 @@ func main() {
 	// here, not after minutes of sweeping. Parent directories are created.
 	var outFile *os.File
 	if *out != "" {
-		if dir := filepath.Dir(*out); dir != "." {
-			if err := os.MkdirAll(dir, 0o755); err != nil {
-				fail(fmt.Errorf("creating output directory: %w", err))
-			}
+		if err := obs.EnsureParent(*out); err != nil {
+			fail(fmt.Errorf("creating output directory: %w", err))
 		}
 		f, err := os.Create(*out)
 		if err != nil {
@@ -127,7 +136,13 @@ func main() {
 		outFile = f
 	}
 
-	eng := campaign.Engine{Workers: *workers, Shards: *shards}
+	eng := campaign.Engine{Workers: *workers, Shards: *shards, Hist: *hist}
+	var rec *obs.Recorder
+	if *chromeTrace != "" || *sampleEvery > 0 {
+		rec = &obs.Recorder{Spans: true, Messages: true, Links: true, Windows: *traceWindows}
+		eng.Obs = rec
+		eng.ObsRun = runs[0].Index // flight-record the first filtered run
+	}
 	if !*quiet {
 		eng.Progress = func(done, total int) {
 			if done == total || done%50 == 0 {
@@ -148,6 +163,23 @@ func main() {
 	}
 	writeOut(outFile, results)
 
+	if rec != nil {
+		if *chromeTrace != "" {
+			if err := writeArtifact(*chromeTrace, func(f *os.File) error {
+				return obs.WriteTimeline(f, rec, obs.TimelineOptions{})
+			}); err != nil {
+				fail(err)
+			}
+		}
+		if *sampleEvery > 0 {
+			if err := writeArtifact(*sampleOut, func(f *os.File) error {
+				return obs.WriteSamples(f, rec, *sampleEvery)
+			}); err != nil {
+				fail(err)
+			}
+		}
+	}
+
 	if !*quiet {
 		campaign.RenderSummary(os.Stdout, spec.Name, results, campaign.Summarize(results))
 		w := eng.Workers
@@ -157,6 +189,23 @@ func main() {
 		fmt.Printf("  wall time: %.2fs with %d workers (%.0f runs/s)\n",
 			wall.Seconds(), w, float64(len(results))/wall.Seconds())
 	}
+}
+
+// writeArtifact creates path (parents included) and streams one
+// observability artifact into it.
+func writeArtifact(path string, write func(*os.File) error) error {
+	if err := obs.EnsureParent(path); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeOut writes the JSONL results to the pre-opened -out file, if any.

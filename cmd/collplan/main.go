@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/coll"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/simmpi"
 	"repro/internal/stats"
 	"repro/internal/topo"
@@ -53,16 +54,23 @@ func main() {
 		{Kind: coll.Allreduce, Alg: simmpi.AlgRecDouble, Bytes: *bytes},
 		{Kind: coll.Barrier},
 	}
-	var runner coll.Runner
-	fmt.Printf("%-26s %12s %12s %10s %9s %13s %13s\n",
-		"collective", "model(µs)", "sim(µs)", "model err", "messages", "bus wait(µs)", "link wait(µs)")
+	runner := coll.Runner{Obs: &obs.Recorder{Hist: true}}
+	fmt.Printf("%-26s %12s %12s %10s %9s %13s %13s %11s %11s\n",
+		"collective", "model(µs)", "sim(µs)", "model err", "messages", "bus wait(µs)", "link wait(µs)",
+		"wait p50", "wait p99")
 	for _, c := range cs {
+		runner.Obs.Reset() // per-collective percentiles, not cumulative
 		res, err := runner.Run(mach, *ranks, c)
 		check(err)
 		model := c.Model(mach, *ranks)
-		fmt.Printf("%-26s %12.4g %12.4g %+9.2f%% %9d %13.4g %13.4g\n",
+		w50, w99 := "-", "-"
+		if h := &res.Hists.RecvWait; h.N() > 0 {
+			w50 = fmt.Sprintf("%.4g", h.Quantile(0.5))
+			w99 = fmt.Sprintf("%.4g", h.Quantile(0.99))
+		}
+		fmt.Printf("%-26s %12.4g %12.4g %+9.2f%% %9d %13.4g %13.4g %11s %11s\n",
 			c.String(), model, res.Time,
-			100*stats.SignedRelErr(model, res.Time), res.Sends, res.BusWait, res.LinkWait)
+			100*stats.SignedRelErr(model, res.Time), res.Sends, res.BusWait, res.LinkWait, w50, w99)
 	}
 
 	var sizes []int

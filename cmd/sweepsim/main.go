@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/simmpi"
 	"repro/internal/simnet"
@@ -26,6 +27,11 @@ func main() {
 	iters := flag.Int("iters", 2, "iterations to simulate")
 	cores := flag.Int("cores", 2, "cores per node")
 	shards := flag.Int("shards", 1, "conservative-parallel shard count (results are bit-identical for every sharded count)")
+	hist := flag.Bool("hist", false, "print duration-histogram summaries (recv wait, message latency, link delay)")
+	chromeTrace := flag.String("chrome-trace", "", "write a Chrome trace-event timeline (load in Perfetto) to this file")
+	sampleEvery := flag.Float64("sample-every", 0, "sample time-series metrics every Δt µs into -sample-out")
+	sampleOut := flag.String("sample-out", "samples.csv", "time-series CSV path for -sample-every")
+	traceWindows := flag.Bool("trace-windows", false, "include per-shard lookahead-window tracks in -chrome-trace (these depend on -shards)")
 	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -61,6 +67,17 @@ func main() {
 	topo := simnet.NewTopology(mach.Params, dec.P(), simnet.GridPlacement(dec, mach))
 	sim := simmpi.New(topo)
 	sim.SetShards(*shards)
+	var rec *obs.Recorder
+	if *hist || *chromeTrace != "" || *sampleEvery > 0 {
+		rec = &obs.Recorder{
+			Spans:    *chromeTrace != "" || *sampleEvery > 0,
+			Messages: *chromeTrace != "" || *sampleEvery > 0,
+			Links:    *chromeTrace != "" || *sampleEvery > 0,
+			Windows:  *traceWindows,
+			Hist:     *hist,
+		}
+		sim.SetObs(rec)
+	}
 	for r, prog := range sched.Programs() {
 		sim.SetProgram(r, prog)
 	}
@@ -81,6 +98,43 @@ func main() {
 		fmt.Printf("parallel:    %d shards, %d lookahead windows, %d barrier stalls\n",
 			k, windows, stalls)
 	}
+	if *hist && res.Hists != nil {
+		fmt.Println("histograms (µs):")
+		res.Hists.Write(os.Stdout)
+	}
+	if *chromeTrace != "" {
+		opt := obs.TimelineOptions{}
+		if ic := topo.Interconnect(); ic != nil {
+			opt.LinkName = ic.LinkName
+		}
+		check(writeArtifact(*chromeTrace, func(f *os.File) error {
+			return obs.WriteTimeline(f, rec, opt)
+		}))
+		fmt.Printf("trace:       %s (open in https://ui.perfetto.dev)\n", *chromeTrace)
+	}
+	if *sampleEvery > 0 {
+		check(writeArtifact(*sampleOut, func(f *os.File) error {
+			return obs.WriteSamples(f, rec, *sampleEvery)
+		}))
+		fmt.Printf("samples:     %s (every %gµs)\n", *sampleOut, *sampleEvery)
+	}
+}
+
+// writeArtifact creates path (parents included) and streams one
+// observability artifact into it.
+func writeArtifact(path string, write func(*os.File) error) error {
+	if err := obs.EnsureParent(path); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func check(err error) {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/simmpi"
 	"repro/internal/simnet"
 	"repro/internal/stats"
@@ -63,6 +64,7 @@ func main() {
 		ic      *topo.Interconnect
 		res     simmpi.Result
 		simTime float64
+		hists   *obs.SimHists
 	}
 	var rows []row
 	for _, name := range strings.Split(*topos, ",") {
@@ -80,12 +82,13 @@ func main() {
 		t, err := simnet.NewMachineTopology(mach, dec)
 		check(err)
 		sim := simmpi.New(t)
+		sim.SetObs(&obs.Recorder{Hist: true})
 		for r, p := range sched.Programs() {
 			sim.SetProgram(r, p)
 		}
 		res, err := sim.Run()
 		check(err)
-		rows = append(rows, row{name: name, ic: t.Interconnect(), res: res, simTime: res.Time})
+		rows = append(rows, row{name: name, ic: t.Interconnect(), res: res, simTime: res.Time, hists: res.Hists})
 	}
 
 	fmt.Printf("%-10s %7s %12s %12s %9s %9s %13s %10s\n",
@@ -102,6 +105,20 @@ func main() {
 		fmt.Printf("%-10s %7d %12.4g %12.4g %8.2f%% %9s %13.4g %10s\n",
 			r.name, r.ic.LinkCount(), rep.Total, r.simTime,
 			100*stats.RelErr(rep.Total, r.simTime), hopsPerMsg, r.res.LinkWait, maxUtil)
+	}
+
+	// Latency distributions: where the mean link-wait column above hides
+	// tail contention, the per-message percentiles expose it.
+	fmt.Printf("\n%-10s %14s %14s %14s %14s\n",
+		"topology", "recv-wait p50", "recv-wait p99", "link-delay p50", "link-delay p99")
+	for _, r := range rows {
+		ld50, ld99 := "-", "-"
+		if r.hists.LinkDelay.N() > 0 {
+			ld50 = fmt.Sprintf("%.4g", r.hists.LinkDelay.Quantile(0.5))
+			ld99 = fmt.Sprintf("%.4g", r.hists.LinkDelay.Quantile(0.99))
+		}
+		fmt.Printf("%-10s %14.4g %14.4g %14s %14s\n",
+			r.name, r.hists.RecvWait.Quantile(0.5), r.hists.RecvWait.Quantile(0.99), ld50, ld99)
 	}
 
 	if *topLinks > 0 {

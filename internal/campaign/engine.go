@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/simmpi"
 	"repro/internal/simnet"
 	"repro/internal/stats"
@@ -58,11 +59,41 @@ type RunResult struct {
 	LinkQueued  uint64  `json:"link_queued,omitempty"`
 	MaxLinkUtil float64 `json:"max_link_util,omitempty"`
 
+	// Hists carries the run's duration-histogram percentiles when the
+	// engine collects them (Engine.Hist); omitted otherwise so rows of
+	// histogram-less campaigns stay byte-identical to earlier output.
+	// Only shard-invariant histograms appear here — the shard count is not
+	// part of a run's identity, so rows must not depend on it.
+	Hists *RunHists `json:"hists,omitempty"`
+
 	Error string `json:"error,omitempty"`
 
 	// WallSeconds is the host wall time the run took. It is reported in
 	// summaries but deliberately excluded from JSONL (see type doc).
 	WallSeconds float64 `json:"-"`
+}
+
+// HistSummary is the JSONL rendering of one duration histogram: the
+// observation count and the bucket-quantised percentiles in µs. All values
+// derive from integer bucket counts, so they are byte-identical for every
+// worker and shard count.
+type HistSummary struct {
+	N   uint64  `json:"n"`
+	P50 float64 `json:"p50_us"`
+	P90 float64 `json:"p90_us"`
+	P99 float64 `json:"p99_us"`
+}
+
+// RunHists bundles a run's histogram summaries. LinkDelay is omitted on
+// flat-wire runs (no interconnect, no link events).
+type RunHists struct {
+	RecvWait   HistSummary  `json:"recv_wait"`
+	MsgLatency HistSummary  `json:"msg_latency"`
+	LinkDelay  *HistSummary `json:"link_delay,omitempty"`
+}
+
+func summarizeHist(h *obs.Hist) HistSummary {
+	return HistSummary{N: h.N(), P50: h.Quantile(0.5), P90: h.Quantile(0.9), P99: h.Quantile(0.99)}
 }
 
 // Engine executes campaign runs on a pool of workers, each owning one
@@ -78,6 +109,30 @@ type Engine struct {
 	// Progress, if non-nil, is called after each run completes with the
 	// completed and total counts. Calls are serialised.
 	Progress func(done, total int)
+	// Hist collects per-run duration histograms into RunResult.Hists.
+	// Each run gets its own recorder, so output stays byte-identical for
+	// any worker count.
+	Hist bool
+	// Obs, if non-nil, is attached as the flight recorder of the single
+	// run whose Index equals ObsRun — deterministic regardless of which
+	// worker executes that run. Configure the recorder's feature flags
+	// before Execute; read its streams after.
+	Obs    *obs.Recorder
+	ObsRun int
+}
+
+// recorderFor resolves the flight recorder for a run, or nil.
+func (e Engine) recorderFor(index int) *obs.Recorder {
+	if e.Obs != nil && index == e.ObsRun {
+		if e.Hist {
+			e.Obs.Hist = true
+		}
+		return e.Obs
+	}
+	if e.Hist {
+		return &obs.Recorder{Hist: true}
+	}
+	return nil
 }
 
 // workers resolves the effective pool size for n runs.
@@ -113,7 +168,7 @@ func (e Engine) Execute(runs []Run) ([]RunResult, error) {
 			defer wg.Done()
 			var sim *simmpi.Sim // lazily built, then reused via Reset
 			for i := range jobs {
-				results[i] = executeRun(runs[i], e.Shards, &sim)
+				results[i] = executeRun(runs[i], e, &sim)
 				if e.Progress != nil {
 					mu.Lock()
 					done++
@@ -146,10 +201,10 @@ func (e Engine) ExecuteSpec(s Spec) ([]RunResult, error) {
 }
 
 // executeRun evaluates the analytic model and the simulator for one run.
-// shards, if positive, overrides the run's own shard count. simp points at
+// e supplies the shard override and observability options. simp points at
 // the worker's simulator slot: nil on the worker's first run, Reset and
 // reused afterwards.
-func executeRun(r Run, shards int, simp **simmpi.Sim) RunResult {
+func executeRun(r Run, e Engine, simp **simmpi.Sim) RunResult {
 	start := time.Now()
 	out := RunResult{
 		Index:      r.Index,
@@ -188,10 +243,15 @@ func executeRun(r Run, shards int, simp **simmpi.Sim) RunResult {
 		(*simp).Reset(topo)
 	}
 	sim := *simp
+	shards := e.Shards
 	if shards <= 0 {
 		shards = r.shards
 	}
 	sim.SetShards(shards)
+	rec := e.recorderFor(r.Index)
+	if rec != nil {
+		sim.SetObs(rec)
+	}
 	for rank, prog := range sched.Programs() {
 		sim.SetProgram(rank, prog)
 	}
@@ -217,6 +277,17 @@ func executeRun(r Run, shards int, simp **simmpi.Sim) RunResult {
 		if res.Time > 0 {
 			out.MaxLinkUtil = ic.MaxLinkBusy() / res.Time
 		}
+	}
+	if e.Hist && res.Hists != nil {
+		rh := &RunHists{
+			RecvWait:   summarizeHist(&res.Hists.RecvWait),
+			MsgLatency: summarizeHist(&res.Hists.MsgLatency),
+		}
+		if res.Hists.LinkDelay.N() > 0 {
+			ld := summarizeHist(&res.Hists.LinkDelay)
+			rh.LinkDelay = &ld
+		}
+		out.Hists = rh
 	}
 	out.WallSeconds = time.Since(start).Seconds()
 	return out

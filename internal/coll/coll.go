@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/simmpi"
 	"repro/internal/simnet"
 )
@@ -167,6 +168,10 @@ func (c Collective) Op() simmpi.Op {
 // way campaign workers do.
 type Runner struct {
 	sim *simmpi.Sim
+	// Obs, if non-nil, is attached to every Run as the simulator's
+	// observability recorder. Call its Reset between runs if per-run
+	// streams are wanted; histograms otherwise accumulate across runs.
+	Obs *obs.Recorder
 }
 
 // Run simulates one instance of the collective over the given number of
@@ -186,6 +191,9 @@ func (r *Runner) Run(m machine.Machine, ranks int, c Collective) (simmpi.Result,
 		r.sim = simmpi.New(t)
 	} else {
 		r.sim.Reset(t)
+	}
+	if r.Obs != nil {
+		r.sim.SetObs(r.Obs)
 	}
 	op := c.Op()
 	for rank := 0; rank < ranks; rank++ {

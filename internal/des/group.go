@@ -38,7 +38,16 @@ type Group struct {
 
 	windows uint64 // windows executed
 	stalls  uint64 // (shard, window) pairs where the shard ran no events
+
+	obs WindowObserver
 }
+
+// WindowObserver receives one observation per (shard, window) pair after
+// the window closes: the window's number (starting at 1) and bounds, the
+// events the shard executed inside it, and the shard's event-heap depth at
+// the closing barrier. The Group invokes it single-threaded, with every
+// shard goroutine parked, so implementations need no synchronisation.
+type WindowObserver func(window uint64, shard int, start, end float64, events uint64, pending int)
 
 // NewGroup prepares a windowed run over the given shard engines. The
 // lookahead must be positive: it is the minimum virtual-time distance any
@@ -69,6 +78,10 @@ func (g *Group) Windows() uint64 { return g.windows }
 // imbalance across shards.
 func (g *Group) Stalls() uint64 { return g.stalls }
 
+// SetObserver installs a per-window observer; pass nil to disable. The
+// nil path costs one branch per (shard, window), nothing per event.
+func (g *Group) SetObserver(fn WindowObserver) { g.obs = fn }
+
 // Run drives the shards to quiescence. Each iteration first invokes the
 // barrier callback — single-threaded, with all shard goroutines parked —
 // which applies buffered cross-shard effects by scheduling events into any
@@ -93,7 +106,12 @@ func (g *Group) Run(barrier func()) {
 				return
 			}
 			g.windows++
+			before := g.engines[0].EventsRun()
 			g.engines[0].RunBefore(next + g.lookahead)
+			if g.obs != nil {
+				g.obs(g.windows, 0, next, next+g.lookahead,
+					g.engines[0].EventsRun()-before, g.engines[0].Pending())
+			}
 		}
 	}
 
@@ -139,8 +157,12 @@ func (g *Group) Run(barrier func()) {
 			<-done
 		}
 		for i, eng := range g.engines {
-			if eng.EventsRun() == g.ran[i] {
+			ran := eng.EventsRun() - g.ran[i]
+			if ran == 0 {
 				g.stalls++
+			}
+			if g.obs != nil {
+				g.obs(g.windows, i, earliest, g.windowEnd, ran, eng.Pending())
 			}
 		}
 	}

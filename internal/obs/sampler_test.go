@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func sampleRows(t *testing.T, r *Recorder, every float64) []string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSamples(&buf, r, every); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != sampleHeader {
+		t.Fatalf("header = %q", lines[0])
+	}
+	return lines[1:]
+}
+
+// row parses a CSV data row into the time column and the counted columns.
+func row(t *testing.T, line string) (ts float64, counts []int64, busy float64) {
+	t.Helper()
+	fields := strings.Split(line, ",")
+	if len(fields) != numCols+2 {
+		t.Fatalf("row %q has %d fields, want %d", line, len(fields), numCols+2)
+	}
+	ts, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fields[1 : numCols+1] {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, v)
+	}
+	busy, err = strconv.ParseFloat(fields[numCols+1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts, counts, busy
+}
+
+func TestSamplerRejectsBadInterval(t *testing.T) {
+	for _, every := range []float64{0, -1} {
+		if err := WriteSamples(&bytes.Buffer{}, &Recorder{}, every); err == nil {
+			t.Errorf("every=%g accepted", every)
+		}
+	}
+}
+
+func TestSamplerCountsHandBuiltRun(t *testing.T) {
+	// Rank 0: compute [0,10), send [10,12). Rank 1: recv [0,13).
+	// Message in flight [10,13); link busy [10.5,12).
+	r := handRecorder()
+	rows := sampleRows(t, r, 5)
+	// End of recording is 13 → samples at 0,5,10,15.
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d: %v", len(rows), rows)
+	}
+
+	ts, c, busy := row(t, rows[0]) // t=0: spans starting at 0 are active
+	if ts != 0 || c[colCompute] != 1 || c[colRecv] != 1 || c[colSend] != 0 || busy != 0 {
+		t.Errorf("t=0 row = %v", rows[0])
+	}
+	_, c, _ = row(t, rows[1]) // t=5: unchanged
+	if c[colCompute] != 1 || c[colRecv] != 1 || c[colMsgs] != 0 {
+		t.Errorf("t=5 row = %v", rows[1])
+	}
+	// t=10: compute ended exactly at 10, send started, message in flight.
+	_, c, busy = row(t, rows[2])
+	if c[colCompute] != 0 || c[colSend] != 1 || c[colRecv] != 1 || c[colMsgs] != 1 {
+		t.Errorf("t=10 row = %v", rows[2])
+	}
+	if c[colRdv] != 0 {
+		t.Errorf("eager message counted as rendezvous: %v", rows[2])
+	}
+	if busy != 0 { // link busy [10.5,12) is after this sample
+		t.Errorf("t=10 busy = %g", busy)
+	}
+	// t=15: everything over, both ranks done, message delivered; the link
+	// was busy 1.5µs inside (10,15].
+	_, c, busy = row(t, rows[3])
+	if c[colSend] != 0 || c[colRecv] != 0 || c[colMsgs] != 0 || c[colDone] != 2 {
+		t.Errorf("t=15 row = %v", rows[3])
+	}
+	if busy != 1.5 {
+		t.Errorf("t=15 busy = %g, want 1.5", busy)
+	}
+}
+
+func TestSamplerClipsLinkBusyAcrossIntervals(t *testing.T) {
+	// One link occupied [3, 9): interval (0,4] sees 1µs, (4,8] sees 4µs,
+	// (8,12] sees 1µs.
+	r := &Recorder{Links: true}
+	r.PrepareRanks(0)
+	r.Link(0, 3, 0, 6)
+	rows := sampleRows(t, r, 4)
+	want := []float64{0, 1, 4, 1}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(want))
+	}
+	for i, line := range rows {
+		if _, _, busy := row(t, line); busy != want[i] {
+			t.Errorf("row %d busy = %g, want %g (%q)", i, busy, want[i], line)
+		}
+	}
+}
+
+func TestSamplerRendezvousSubset(t *testing.T) {
+	r := &Recorder{Messages: true}
+	r.PrepareRanks(0)
+	r.AddMessages([]MsgEvent{
+		{Send: 0, Ready: 10, Src: 0, Dst: 1},
+		{Send: 0, Ready: 10, Src: 1, Dst: 0, Rdv: true},
+	})
+	rows := sampleRows(t, r, 5)
+	_, c, _ := row(t, rows[1]) // t=5
+	if c[colMsgs] != 2 || c[colRdv] != 1 {
+		t.Errorf("t=5 inflight=%d rdv=%d", c[colMsgs], c[colRdv])
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteSamples(&a, handRecorder(), 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSamples(&b, handRecorder(), 3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two identical recordings sampled differently")
+	}
+}

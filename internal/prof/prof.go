@@ -1,8 +1,13 @@
-// Package prof wires the conventional -cpuprofile/-memprofile/-trace
+// Package prof wires the conventional -cpuprofile/-memprofile/-exectrace
 // triple into the simulator's command-line tools. Long sweeps and
 // huge-rank parallel runs are exactly the workloads worth profiling, and
 // every tool spelling the same three flags the same way keeps
 // `go tool pprof`/`go tool trace` workflows uniform across the repo.
+//
+// The runtime execution-trace flag is -exectrace; the old -trace spelling
+// is kept as a deprecated alias so existing invocations keep working, and
+// to free the plain name for the simulator's own trace outputs
+// (-chrome-trace timelines).
 package prof
 
 import (
@@ -22,14 +27,17 @@ type Flags struct {
 	Trace string
 }
 
-// Register declares -cpuprofile, -memprofile and -trace on the given flag
-// set (use flag.CommandLine for a command's top level) and returns the
-// struct the parsed values land in.
+// Register declares -cpuprofile, -memprofile and -exectrace on the given
+// flag set (use flag.CommandLine for a command's top level) and returns
+// the struct the parsed values land in. -trace is accepted as a deprecated
+// alias for -exectrace; both StringVars share one field, so the last one
+// given wins.
 func Register(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit")
-	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
+	fs.StringVar(&f.Trace, "exectrace", "", "write a runtime execution trace to this file")
+	fs.StringVar(&f.Trace, "trace", "", "deprecated alias for -exectrace")
 	return f
 }
 

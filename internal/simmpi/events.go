@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/logp"
+	"repro/internal/obs"
 )
 
 // Event kinds. Kind 0 is reserved by the des engine for closure events.
@@ -186,7 +187,17 @@ func (sh *shard) handle(ev des.Event) {
 		m.ready = true
 		m.readyAt = ready
 		req := m.recv
-		sh.resumeAt(&sh.ranks[sh.reqs[req].rank], ready+sh.par.O)
+		resume := ready + sh.par.O
+		sh.resumeAt(&sh.ranks[sh.reqs[req].rank], resume)
+		if sh.hists != nil {
+			sh.hists.RecvWait.Observe(resume - sh.reqs[req].postAt)
+			sh.hists.MsgLatency.Observe(ready - m.sendAt)
+		}
+		if sh.obsMsg {
+			sh.obsMsgs = append(sh.obsMsgs, obs.MsgEvent{
+				Send: m.sendAt, Ready: ready, Src: m.src, Dst: m.dst, Bytes: m.bytes, Rdv: true,
+			})
+		}
 		sh.unlink(&sh.channels[m.ch], ev.Arg0)
 		sh.freeReq(req)
 		sh.freeMsg(ev.Arg0)
@@ -213,6 +224,7 @@ func (sh *shard) execSend(r *rankState, peer, bytes int) {
 	mi := sh.allocMsg()
 	m := &sh.msgs[mi]
 	m.src, m.dst, m.bytes, m.ch = r.id, int32(peer), int32(bytes), ci
+	m.sendAt = ts
 	ch := &sh.channels[ci]
 	ch.msgs.pushBack(mi)
 	// Match a posted receive, if one is waiting.
@@ -285,7 +297,17 @@ func (sh *shard) completeRecv(mi int32) {
 	if req.postAt > start {
 		start = req.postAt
 	}
-	sh.resumeAt(&sh.ranks[req.rank], start+sh.recvOverhead(m))
+	resume := start + sh.recvOverhead(m)
+	sh.resumeAt(&sh.ranks[req.rank], resume)
+	if sh.hists != nil {
+		sh.hists.RecvWait.Observe(resume - req.postAt)
+		sh.hists.MsgLatency.Observe(m.readyAt - m.sendAt)
+	}
+	if sh.obsMsg {
+		sh.obsMsgs = append(sh.obsMsgs, obs.MsgEvent{
+			Send: m.sendAt, Ready: m.readyAt, Src: m.src, Dst: m.dst, Bytes: m.bytes,
+		})
+	}
 	sh.unlink(&sh.channels[m.ch], mi)
 	sh.freeReq(ri)
 	sh.freeMsg(mi)

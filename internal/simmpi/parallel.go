@@ -268,6 +268,11 @@ func (s *Sim) runParallel(k int) (Result, error) {
 		p.engines = append(p.engines, &s.shards[i].eng)
 	}
 	g := des.NewGroup(p.engines, s.topo.Lookahead())
+	if o := s.obs; o != nil && (o.Windows || o.Hist) {
+		g.SetObserver(func(window uint64, shard int, start, end float64, events uint64, pending int) {
+			o.Window(window, int32(shard), start, end, events, pending)
+		})
+	}
 	g.Run(func() { s.barrier(p) })
 	p.windows, p.stalls = g.Windows(), g.Stalls()
 
@@ -293,6 +298,7 @@ func (sh *shard) execSendCross(r *rankState, peer, bytes int) {
 	mi := sh.allocMsg()
 	m := &sh.msgs[mi]
 	m.src, m.dst, m.bytes, m.ch = r.id, int32(peer), int32(bytes), none
+	m.sendAt = ts
 	m.cross = true
 	rdv := bytes > logp.EagerThreshold
 	sh.xrecs = append(sh.xrecs, crossRec{
@@ -436,6 +442,7 @@ func (s *Sim) applyMsg(p *parRun, rec *crossRec) {
 	mi := dsh.allocMsg()
 	m := &dsh.msgs[mi]
 	m.src, m.dst, m.bytes, m.ch = rec.src, rec.dst, rec.bytes, ci
+	m.sendAt = rec.t
 	m.cross = true
 	m.proxy = rec.smsg
 	ssh.msgs[rec.smsg].proxy = mi

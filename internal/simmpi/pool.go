@@ -20,6 +20,7 @@ const none int32 = -1
 // message is a pooled in-flight message record.
 type message struct {
 	readyAt    float64 // valid once ready
+	sendAt     float64 // sender's op start; set unconditionally (no branch)
 	src, dst   int32
 	bytes      int32
 	ch         int32 // owning channel index (satellite: unlink takes no map lookup)

@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/logp"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -145,6 +146,11 @@ type Result struct {
 	// contention (internal/topo); all zero on the flat-wire network.
 	LinkRequests, LinkQueued uint64
 	LinkBusy, LinkWait       float64
+	// Hists carries the run's duration histograms when a flight recorder
+	// with Hist enabled was attached (Sim.SetObs); nil otherwise. The
+	// pointer aliases the recorder's accumulator, which keeps accumulating
+	// if the recorder is reused without a Reset.
+	Hists *obs.SimHists
 }
 
 // MaxComputeTime returns the largest per-rank compute time.
@@ -177,6 +183,7 @@ type Sim struct {
 	topo   *simnet.Topology
 	ranks  []rankState
 	tracer Tracer
+	obs    *obs.Recorder
 	arGens []arGen
 
 	// shards hold all hot-path state (engines, pools, channel tables,
@@ -236,6 +243,17 @@ type shard struct {
 	par    logp.Params // snapshot of topo.Params (frozen per Topology contract); hot handlers avoid re-copying the struct
 	tracer Tracer
 	ranks  []rankState // shared header of Sim.ranks; shards touch only their own partition
+
+	// Flight-recorder snapshot (Sim.SetObs): the recorder plus cached
+	// feature booleans so hot-path guards are single loads, and the shard's
+	// private histogram scratch and message log — merged into the recorder
+	// single-threaded at assemble, so sharded recording needs no locks.
+	obs         *obs.Recorder
+	obsSpans    bool
+	obsMsg      bool
+	hists       *obs.SimHists // points at histScratch when enabled, else nil
+	histScratch obs.SimHists
+	obsMsgs     []obs.MsgEvent
 
 	// xpart maps rank → owning shard; nil in a serial run, which is the
 	// hot path's "is this send cross-shard?" test. xlinks defers shared
@@ -304,6 +322,14 @@ func (sh *shard) bind() {
 	sh.par = s.topo.Params
 	sh.ranks = s.ranks
 	sh.tracer = s.tracer
+	sh.obs = s.obs
+	sh.obsSpans = s.obs != nil && s.obs.Spans
+	sh.obsMsg = s.obs != nil && s.obs.Messages
+	sh.hists = nil
+	if s.obs != nil && s.obs.Hist {
+		sh.histScratch.Reset()
+		sh.hists = &sh.histScratch
+	}
 	sh.xpart = nil
 	sh.xlinks = false
 	sh.canon = s.nshards > 1
@@ -317,6 +343,7 @@ func (sh *shard) clear() {
 	sh.msgs, sh.msgFree = sh.msgs[:0], sh.msgFree[:0]
 	sh.reqs, sh.reqFree = sh.reqs[:0], sh.reqFree[:0]
 	sh.running, sh.sends, sh.recvs, sh.bytes = 0, 0, 0, 0
+	sh.obsMsgs = sh.obsMsgs[:0]
 	sh.xrecs = sh.xrecs[:0]
 	sh.linkOps = sh.linkOps[:0]
 	sh.arEnter = sh.arEnter[:0]
@@ -327,8 +354,8 @@ func (sh *shard) clear() {
 // retaining the capacity of every internal pool — the event heap, the
 // message and receive-request free lists, the channel rings and the
 // per-rank tables — so that back-to-back simulations of similar size
-// perform near-zero heap allocations after the first. All programs and the
-// tracer are cleared; a reset Sim behaves bit-identically to a freshly
+// perform near-zero heap allocations after the first. All programs, the
+// tracer and the flight recorder are cleared; a reset Sim behaves bit-identically to a freshly
 // constructed one. The topology must itself be fresh or Reset (its buses
 // start a new virtual time axis). The shard-count knob (SetShards)
 // survives the reset, as does the capacity of every shard built for
@@ -354,6 +381,7 @@ func (s *Sim) Reset(topo *simnet.Topology) {
 	// pools in the same order a fresh Sim would.
 	s.arGens = s.arGens[:0]
 	s.tracer = nil
+	s.obs = nil
 	for _, sh := range s.shards {
 		sh.clear()
 		sh.bind()
@@ -368,9 +396,25 @@ func (s *Sim) SetProgram(r int, p Program) { s.ranks[r].prog = p }
 // across shard goroutines.
 func (s *Sim) SetTracer(t Tracer) { s.tracer = t }
 
+// SetObs attaches a flight recorder (internal/obs); pass nil to disable.
+// Unlike SetTracer, an attached recorder does not force serial execution:
+// sharded runs record per-rank spans from the owning shards, accumulate
+// histograms in per-shard scratch merged at the end, and record link and
+// window events only from single-threaded barrier code, so the recording
+// is deterministic for every shard count. Set the recorder's feature flags
+// before Run; Reset detaches it.
+func (s *Sim) SetObs(r *obs.Recorder) { s.obs = r }
+
 // Run executes the simulation to completion. It returns an error if any
 // rank blocks forever (deadlock) — e.g. a receive with no matching send.
 func (s *Sim) Run() (Result, error) {
+	if o := s.obs; o != nil {
+		o.PrepareRanks(len(s.ranks))
+		if o.Links || o.Hist {
+			s.topo.SetLinkTracer(o.Link)
+			defer s.topo.SetLinkTracer(nil)
+		}
+	}
 	if k := s.effectiveShards(); k > 1 {
 		return s.runParallel(k)
 	}
@@ -414,6 +458,20 @@ func (s *Sim) assemble(end float64) (Result, error) {
 	res.BusRequests, res.BusQueued, res.BusBusy, res.BusWait = s.topo.BusStats()
 	res.LinkRequests, res.LinkQueued, res.LinkBusy, res.LinkWait = s.topo.LinkStats()
 
+	if o := s.obs; o != nil {
+		for _, sh := range s.shards {
+			if len(sh.obsMsgs) > 0 {
+				o.AddMessages(sh.obsMsgs)
+			}
+			if sh.hists != nil {
+				o.MergeHists(sh.hists)
+			}
+		}
+		if o.Hist {
+			res.Hists = o.Hists()
+		}
+	}
+
 	var blocked []int
 	for i := range s.ranks {
 		r := &s.ranks[i]
@@ -448,6 +506,13 @@ func (sh *shard) advance(r *rankState) {
 			}
 			sh.tracer.Span(int(r.id), r.curOp.Kind, peer, int(r.curOp.Bytes), r.opStart, r.t)
 		}
+		if sh.obsSpans {
+			peer := r.curOp.Peer
+			if r.curOp.Kind == OpAllReduce {
+				peer = -1
+			}
+			sh.obs.RankSpan(r.id, uint8(r.curOp.Kind), peer, r.curOp.Bytes, r.opStart, r.t)
+		}
 	}
 	for {
 		var op Op
@@ -476,6 +541,9 @@ func (sh *shard) advance(r *rankState) {
 		case OpCompute:
 			if sh.tracer != nil && op.Dur > 0 {
 				sh.tracer.Span(int(r.id), OpCompute, -1, 0, r.t, r.t+op.Dur)
+			}
+			if sh.obsSpans && op.Dur > 0 {
+				sh.obs.RankSpan(r.id, uint8(OpCompute), -1, 0, r.t, r.t+op.Dur)
 			}
 			r.compute += op.Dur
 			r.t += op.Dur

@@ -205,6 +205,10 @@ func (t *Topology) AcquireLinks(a, b int, now float64, size int) float64 {
 	return t.ic.Acquire(int(t.nodeOf[a]), int(t.nodeOf[b]), now, size)
 }
 
+// SetLinkTracer installs a per-reservation tracer on the attached
+// interconnect; pass nil to disable. A no-op on the flat-wire network.
+func (t *Topology) SetLinkTracer(fn topo.LinkTracer) { t.ic.SetLinkTracer(fn) }
+
 // LinkStats aggregates contention counters over all interconnect links;
 // all-zero for the flat-wire network.
 func (t *Topology) LinkStats() (requests, queued uint64, busy, waited float64) {

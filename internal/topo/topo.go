@@ -222,7 +222,15 @@ type Interconnect struct {
 
 	links   []des.Resource
 	scratch []int32 // route buffer reused across Acquire calls
+	ltrace  LinkTracer
 }
+
+// LinkTracer receives one callback per link reservation: the link index,
+// the service start (after queueing), the queueing delay and the occupancy,
+// all in µs. Callers must guarantee single-threaded Acquire invocation
+// while a tracer is installed — the simulator does, because link replay on
+// sharded runs happens at the single-threaded window barrier.
+type LinkTracer func(link int32, start, wait, dur float64)
 
 // New instantiates a spec for the given node count, resolving the timing
 // defaults from the platform's off-node per-byte cost g. It returns
@@ -394,9 +402,22 @@ func (ic *Interconnect) Acquire(srcNode, dstNode int, now float64, size int) flo
 		if i > 0 {
 			t += ic.hopL
 		}
-		t += ic.links[l].Acquire(t, occ)
+		wait := ic.links[l].Acquire(t, occ)
+		if ic.ltrace != nil {
+			ic.ltrace(l, t+wait, wait, occ)
+		}
+		t += wait
 	}
 	return t - now
+}
+
+// SetLinkTracer installs a per-reservation tracer; pass nil to disable.
+// A nil fabric ignores the call.
+func (ic *Interconnect) SetLinkTracer(fn LinkTracer) {
+	if ic == nil {
+		return
+	}
+	ic.ltrace = fn
 }
 
 // AppendRoute appends the directed link indices of the route from srcNode

@@ -1,0 +1,33 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteBreakdown renders the paper Section 5.4 / Figure 11 style activity
+// breakdown as an aligned text table: one row per rank with its compute,
+// send, receive and collective time plus the communication share of its
+// lifetime, followed by the aggregate summary and the most comm-bound
+// ranks. Output is a pure function of the profiles (fixed-precision
+// formatting, no wall-clock state), so it is golden-testable.
+func WriteBreakdown(w io.Writer, profiles []RankProfile, top int) {
+	fmt.Fprintf(w, "%5s %12s %12s %12s %12s %7s\n",
+		"rank", "compute_us", "send_us", "recv_us", "coll_us", "comm%")
+	for _, p := range profiles {
+		fmt.Fprintf(w, "%5d %12.1f %12.1f %12.1f %12.1f %7.1f\n",
+			p.Rank, p.Compute, p.Send, p.Recv, p.Coll, 100*p.CommShare())
+	}
+	s := Summarize(profiles)
+	fmt.Fprintf(w, "ranks=%d makespan=%.1fµs compute=%.1fµs comm=%.1fµs mean_comm=%.1f%%\n",
+		s.Ranks, s.MakeSpan, s.TotalCompute, s.TotalComm, 100*s.MeanCommShare)
+	fmt.Fprintf(w, "critical rank %d (last to finish), most comm-bound rank %d\n",
+		s.CriticalRank, s.BoundRank)
+	if top > 0 {
+		fmt.Fprint(w, "top comm-bound:")
+		for _, p := range TopCommBound(profiles, top) {
+			fmt.Fprintf(w, " %d(%.1f%%)", p.Rank, 100*p.CommShare())
+		}
+		fmt.Fprintln(w)
+	}
+}

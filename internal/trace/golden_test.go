@@ -1,0 +1,73 @@
+package trace
+
+// Golden lock-down of the text renderers: the Gantt chart and the activity
+// breakdown for a small LU run are pinned byte-for-byte, so any drift in
+// span recording, profile accounting or the fixed-precision formatting
+// shows up as a diff against testdata/lu_breakdown_golden.txt.
+//
+// To bless an intentional change:
+//
+//	go test ./internal/trace -run TestBreakdownGolden -update
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+	"repro/internal/simnet"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runLUTraced runs one LU iteration on a 16³ grid over 4×4 ranks with a
+// recorder attached.
+func runLUTraced(t *testing.T) (*Recorder, int) {
+	t.Helper()
+	g := grid.Cube(16)
+	bm := apps.LU(g)
+	dec := grid.MustDecompose(g, 4, 4)
+	mach := machine.XT4()
+	sched, err := bm.Schedule(dec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := simnet.NewTopology(mach.Params, dec.P(), simnet.GridPlacement(dec, mach))
+	sim := simmpi.New(topo)
+	for r, p := range sched.Programs() {
+		sim.SetProgram(r, p)
+	}
+	rec := NewRecorder()
+	sim.SetTracer(rec)
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return rec, dec.P()
+}
+
+func TestBreakdownGolden(t *testing.T) {
+	const path = "testdata/lu_breakdown_golden.txt"
+	rec, ranks := runLUTraced(t)
+	var buf bytes.Buffer
+	rec.Gantt(&buf, ranks, 72)
+	buf.WriteByte('\n')
+	WriteBreakdown(&buf, rec.Profile(ranks), 3)
+	got := buf.Bytes()
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to record)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("rendered output drifted from golden; run with -update and explain the drift\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
