@@ -291,8 +291,10 @@ func benchParallelEventRate(b *testing.B, shards int) {
 			b.Fatal(err)
 		}
 		topo := simnet.NewTopology(mach.Params, dec.P(), simnet.GridPlacement(dec, mach))
-		sim := simmpi.New(topo)
-		sim.SetShards(shards)
+		sim, err := simmpi.NewWithOptions(topo, simmpi.Options{Shards: shards})
+		if err != nil {
+			b.Fatal(err)
+		}
 		for r, p := range sched.Programs() {
 			sim.SetProgram(r, p)
 		}

@@ -52,7 +52,7 @@ type report struct {
 	BytesPerOp     int64   `json:"bytes_per_op"`
 
 	// The same workload with the observability recorder explicitly
-	// detached (simmpi.Sim.SetObs(nil)): the nil-guarded hooks must keep
+	// detached (simmpi.Options{Obs: nil}): the nil-guarded hooks must keep
 	// the disabled path as fast as having no hooks at all, and this metric
 	// is what the benchgate holds to that claim.
 	EventsPerSecObsDisabled float64 `json:"events_per_sec_obs_disabled"`
@@ -65,7 +65,7 @@ type report struct {
 	CampaignRunsPerSec float64 `json:"campaign_runs_per_sec"`
 
 	// Conservative-parallel throughput: the event-rate workload run at
-	// K=4 shards (simmpi.Sim.SetShards), so the two events/s columns are
+	// K=4 shards (simmpi.Options{Shards: 4}), so the two events/s columns are
 	// directly comparable. barrier_stalls_per_window is deterministic —
 	// the fraction of (shard, window) pairs that ran no events, the load-
 	// imbalance diagnostic of the sharded scheduler.
@@ -102,8 +102,8 @@ func campaignRate(repeats int) (runs, workers int, seconds float64) {
 
 // eventRate runs the event-rate workload iters times (after one warm-up)
 // and measures wall time and heap allocations per op. obsDisabled runs the
-// workload with the observability recorder explicitly detached via
-// SetObs(nil) — semantically identical to never attaching one, measured
+// workload with the observability recorder explicitly configured nil
+// (simmpi.Options) — semantically identical to never attaching one, measured
 // separately so the nil-guarded hook cost is tracked as its own metric.
 func eventRate(iters int, obsDisabled bool) (nsPerOp float64, events uint64, allocsPerOp, bytesPerOp int64) {
 	g := grid.Cube(64)
@@ -116,9 +116,18 @@ func eventRate(iters int, obsDisabled bool) (nsPerOp float64, events uint64, all
 			panic(err)
 		}
 		topo := simnet.NewTopology(mach.Params, dec.P(), simnet.GridPlacement(dec, mach))
-		sim := simmpi.New(topo)
+		var sim *simmpi.Sim
 		if obsDisabled {
-			sim.SetObs(nil)
+			// Explicitly configure a nil recorder — semantically identical
+			// to never attaching one — so the nil-guarded hook cost is
+			// measured as its own metric.
+			s, err := simmpi.NewWithOptions(topo, simmpi.Options{Obs: nil})
+			if err != nil {
+				panic(err)
+			}
+			sim = s
+		} else {
+			sim = simmpi.New(topo)
 		}
 		for r, p := range sched.Programs() {
 			sim.SetProgram(r, p)
@@ -159,8 +168,10 @@ func parallelRate(iters, shards int) (nsPerOp float64, events, windows, stalls u
 			panic(err)
 		}
 		topo := simnet.NewTopology(mach.Params, dec.P(), simnet.GridPlacement(dec, mach))
-		sim := simmpi.New(topo)
-		sim.SetShards(shards)
+		sim, err := simmpi.NewWithOptions(topo, simmpi.Options{Shards: shards})
+		if err != nil {
+			panic(err)
+		}
 		for r, p := range sched.Programs() {
 			sim.SetProgram(r, p)
 		}

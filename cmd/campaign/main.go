@@ -16,11 +16,25 @@
 // produces byte-identical files for any -workers value. Filters restrict
 // the sweep, e.g. -filter "app=LU,p=64|256,override=baseline".
 //
+// Serving-layer features (see campaign.Config):
+//
+//	-cache-dir DIR   memoize results by content address in DIR/cache.jsonl;
+//	                 re-running an overlapping sweep serves repeated runs
+//	                 from the cache, byte-identical to cold execution
+//	-range I/N       execute only slice I of N of the filtered run list
+//	                 (deterministic partitioning for multi-process sweeps)
+//	-checkpoint DIR  append each finished row to a per-range checkpoint
+//	                 file; re-running after a crash resumes where it died
+//	-merge           reassemble the full -out JSONL from DIR's checkpoints
+//	                 (byte-identical to a single-process run) and exit
+//
 // Observability: -hist attaches duration histograms to every run (a
 // "hists" field per JSONL row), while -chrome-trace and -sample-every
 // flight-record the first filtered run into a Chrome trace-event timeline
 // and a time-series CSV. All three outputs are byte-identical for any
-// -workers or -shards value.
+// -workers or -shards value. When a -range excludes the flight-recorded
+// run, no trace artifacts are written; recorded artifacts from ranged runs
+// get a ".lo-hi" path suffix so ranges never clobber each other.
 package main
 
 import (
@@ -28,11 +42,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/cliflags"
 	"repro/internal/obs"
 	"repro/internal/prof"
 )
@@ -43,14 +59,14 @@ func main() {
 	printSpec := flag.String("print-spec", "", "print a built-in campaign spec as JSON and exit")
 	list := flag.Bool("list", false, "list the expanded runs without executing")
 	filter := flag.String("filter", "", "restrict runs, e.g. \"app=LU,p=64|256,override=baseline\"")
-	workers := flag.Int("workers", 0, "worker pool size (default: GOMAXPROCS)")
-	shards := flag.Int("shards", 0, "override the spec's simulator shard count (results are bit-identical for every sharded count)")
+	workers := cliflags.RegisterWorkers(flag.CommandLine)
+	shards := cliflags.RegisterShards(flag.CommandLine, 0)
 	out := flag.String("out", "", "write per-run results as JSONL to this file")
-	hist := flag.Bool("hist", false, "attach duration-histogram percentiles to every run's JSONL row")
-	chromeTrace := flag.String("chrome-trace", "", "write a Chrome trace-event timeline of the first run to this file")
-	sampleEvery := flag.Float64("sample-every", 0, "sample the first run's time-series metrics every Δt µs")
-	sampleOut := flag.String("sample-out", "samples.csv", "time-series CSV path for -sample-every")
-	traceWindows := flag.Bool("trace-windows", false, "include per-shard lookahead-window tracks in -chrome-trace (these depend on -shards)")
+	rangeSpec := flag.String("range", "", "execute slice I of N of the run list, e.g. 0/4")
+	ckptDir := flag.String("checkpoint", "", "checkpoint finished rows into this directory and resume from it")
+	merge := flag.Bool("merge", false, "merge -checkpoint files into -out and exit (requires both flags)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (cache.jsonl inside it)")
+	obsFlags := cliflags.RegisterObs(flag.CommandLine)
 	quiet := flag.Bool("quiet", false, "suppress the progress ticker and summary tables")
 	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -99,6 +115,9 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The expansion is needed up front for -list, -merge (total run count)
+	// and flight-recorder targeting; execution re-expands inside
+	// ExecuteSpec, which is cheap and keeps one code path.
 	runs, err := spec.Expand()
 	if err != nil {
 		fail(err)
@@ -122,29 +141,61 @@ func main() {
 		return
 	}
 
-	// Open the output before executing: an unwritable -out path must fail
-	// here, not after minutes of sweeping. Parent directories are created.
-	var outFile *os.File
-	if *out != "" {
+	if *merge {
+		if *ckptDir == "" || *out == "" {
+			fail(fmt.Errorf("-merge needs -checkpoint and -out"))
+		}
 		if err := obs.EnsureParent(*out); err != nil {
-			fail(fmt.Errorf("creating output directory: %w", err))
+			fail(err)
 		}
 		f, err := os.Create(*out)
 		if err != nil {
-			fail(fmt.Errorf("opening -out: %w", err))
+			fail(err)
 		}
-		outFile = f
+		if err := campaign.MergeCheckpoints(*ckptDir, len(runs), f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		if !*quiet {
+			fmt.Printf("merged %d runs from %s into %s\n", len(runs), *ckptDir, *out)
+		}
+		return
 	}
 
-	eng := campaign.Engine{Workers: *workers, Shards: *shards, Hist: *hist}
-	var rec *obs.Recorder
-	if *chromeTrace != "" || *sampleEvery > 0 {
-		rec = &obs.Recorder{Spans: true, Messages: true, Links: true, Windows: *traceWindows}
-		eng.Obs = rec
-		eng.ObsRun = runs[0].Index // flight-record the first filtered run
+	cfg := campaign.Config{
+		Workers:       *workers,
+		Shards:        *shards,
+		Hist:          obsFlags.Hist,
+		Filter:        *filter,
+		Output:        *out,
+		CheckpointDir: *ckptDir,
+	}
+	part, parts, err := parseRange(*rangeSpec)
+	if err != nil {
+		fail(err)
+	}
+	cfg.RangePart, cfg.RangeParts = part, parts
+
+	var store *campaign.DiskStore
+	if *cacheDir != "" {
+		store, err = campaign.OpenDiskStore(filepath.Join(*cacheDir, "cache.jsonl"))
+		if err != nil {
+			fail(err)
+		}
+		defer store.Close()
+		cfg.Store = store
+	}
+
+	rec := obsFlags.Recorder()
+	if rec != nil {
+		cfg.Obs = rec
+		cfg.ObsRun = runs[0].Index // flight-record the first filtered run
 	}
 	if !*quiet {
-		eng.Progress = func(done, total int) {
+		cfg.Progress = func(done, total int) {
 			if done == total || done%50 == 0 {
 				fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
 			}
@@ -153,72 +204,76 @@ func main() {
 			}
 		}
 	}
-	start := time.Now()
-	results, err := eng.Execute(runs)
-	wall := time.Since(start)
+
+	eng, err := campaign.NewEngine(cfg)
 	if err != nil {
-		// Write what completed before failing: partial JSONL aids triage.
-		writeOut(outFile, results)
 		fail(err)
 	}
-	writeOut(outFile, results)
+	start := time.Now()
+	results, err := eng.ExecuteSpec(spec)
+	wall := time.Since(start)
+	if err != nil {
+		fail(err)
+	}
 
-	if rec != nil {
-		if *chromeTrace != "" {
-			if err := writeArtifact(*chromeTrace, func(f *os.File) error {
-				return obs.WriteTimeline(f, rec, obs.TimelineOptions{})
-			}); err != nil {
-				fail(err)
-			}
+	// A range that excludes the flight-recorded run leaves the recorder
+	// empty; only write artifacts when this process executed that run, and
+	// suffix their paths with the range so concurrent parts stay apart.
+	if rec != nil && rangeContains(results, cfg.ObsRun) {
+		pathFn := func(p string) string { return p }
+		if cfg.RangeParts > 1 && len(results) > 0 {
+			lo := results[0].Index
+			hi := results[len(results)-1].Index + 1
+			pathFn = func(p string) string { return obs.RangePath(p, lo, hi) }
 		}
-		if *sampleEvery > 0 {
-			if err := writeArtifact(*sampleOut, func(f *os.File) error {
-				return obs.WriteSamples(f, rec, *sampleEvery)
-			}); err != nil {
-				fail(err)
-			}
+		if err := obsFlags.WriteArtifacts(rec, obs.TimelineOptions{}, pathFn); err != nil {
+			fail(err)
 		}
 	}
 
 	if !*quiet {
 		campaign.RenderSummary(os.Stdout, spec.Name, results, campaign.Summarize(results))
-		w := eng.Workers
+		w := cfg.Workers
 		if w <= 0 {
 			w = runtime.GOMAXPROCS(0)
 		}
+		st := eng.Stats()
 		fmt.Printf("  wall time: %.2fs with %d workers (%.0f runs/s)\n",
 			wall.Seconds(), w, float64(len(results))/wall.Seconds())
+		if st.CacheHits > 0 || st.CheckpointHits > 0 {
+			fmt.Printf("  served: %d simulated, %d cache hits, %d checkpoint hits\n",
+				st.Simulated, st.CacheHits, st.CheckpointHits)
+		}
+		if store != nil {
+			cs := store.Stats()
+			fmt.Printf("  cache: %d entries, %d hits / %d misses this invocation\n",
+				cs.Entries, cs.Hits, cs.Misses)
+		}
 	}
 }
 
-// writeArtifact creates path (parents included) and streams one
-// observability artifact into it.
-func writeArtifact(path string, write func(*os.File) error) error {
-	if err := obs.EnsureParent(path); err != nil {
-		return err
+// parseRange parses the -range I/N syntax; empty means the whole list.
+func parseRange(s string) (part, parts int, err error) {
+	if s == "" {
+		return 0, 0, nil
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	if _, err := fmt.Sscanf(s, "%d/%d", &part, &parts); err != nil {
+		return 0, 0, fmt.Errorf("campaign: -range wants I/N (e.g. 0/4), got %q", s)
 	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
+	if parts < 1 || part < 0 || part >= parts {
+		return 0, 0, fmt.Errorf("campaign: -range %q out of bounds", s)
 	}
-	return f.Close()
+	return part, parts, nil
 }
 
-// writeOut writes the JSONL results to the pre-opened -out file, if any.
-func writeOut(f *os.File, results []campaign.RunResult) {
-	if f == nil {
-		return
+// rangeContains reports whether the executed slice includes the run index.
+func rangeContains(results []campaign.RunResult, index int) bool {
+	for i := range results {
+		if results[i].Index == index {
+			return true
+		}
 	}
-	if err := campaign.WriteJSONL(f, results); err != nil {
-		fail(err)
-	}
-	if err := f.Close(); err != nil {
-		fail(err)
-	}
+	return false
 }
 
 func fail(err error) {

@@ -1,0 +1,81 @@
+// Command campaignd serves campaign execution over HTTP/JSON. Clients
+// POST a campaign spec and poll for status and results while the daemon
+// executes runs on its worker pool; every campaign shares one
+// content-addressed result cache, so overlapping sweeps submitted by
+// different clients (or the same client twice) are served from cache,
+// byte-identical to cold execution.
+//
+// Usage:
+//
+//	campaignd [-addr :8080] [-workers N] [-shards K] [-cache-size N] [-cache-dir DIR]
+//
+// Endpoints:
+//
+//	POST /v1/campaigns           submit a spec (the JSON format of
+//	                             `campaign -print-spec example`), 202 + id
+//	GET  /v1/campaigns           list submitted campaigns
+//	GET  /v1/campaigns/{id}      status: state, done/total, exec stats
+//	GET  /v1/campaigns/{id}/results   results as JSONL, index order
+//	GET  /v1/cache/stats         shared cache hit/miss counters
+//	GET  /healthz                liveness probe
+//
+// Every JSON response and JSONL row carries a "schema_version" field; see
+// the README's campaign-service section for the compatibility rule.
+//
+// With -cache-dir the cache is tiered: an in-memory LRU in front of a
+// persistent JSONL file in that directory, so a restarted daemon keeps its
+// accumulated results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"repro/internal/campaign"
+	"repro/internal/cliflags"
+	"repro/internal/prof"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := cliflags.RegisterWorkers(flag.CommandLine)
+	shards := cliflags.RegisterShards(flag.CommandLine, 0)
+	hist := flag.Bool("hist", false, "attach duration-histogram percentiles to every run's JSONL row")
+	cacheSize := flag.Int("cache-size", 0, "in-memory cache capacity in results (default 65536)")
+	cacheDir := flag.String("cache-dir", "", "persist the cache to cache.jsonl in this directory (tiered under the in-memory LRU)")
+	pf := prof.Register(flag.CommandLine)
+	flag.Parse()
+
+	stopProf, err := pf.Start()
+	check(err)
+	defer func() { check(stopProf()) }()
+
+	var store campaign.ResultStore = campaign.NewMemoryStore(*cacheSize)
+	if *cacheDir != "" {
+		disk, err := campaign.OpenDiskStore(filepath.Join(*cacheDir, "cache.jsonl"))
+		check(err)
+		defer disk.Close()
+		store = campaign.NewTieredStore(store, disk)
+	}
+
+	srv, err := campaign.NewServer(campaign.Config{
+		Workers: *workers,
+		Shards:  *shards,
+		Hist:    *hist,
+		Store:   store,
+	})
+	check(err)
+
+	fmt.Printf("campaignd: listening on %s (POST a spec to /v1/campaigns)\n", *addr)
+	check(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaignd:", err)
+		os.Exit(1)
+	}
+}

@@ -88,12 +88,12 @@ func main() {
 	check(err)
 	topo, err := simnet.NewMachineTopology(mach, dec)
 	check(err)
-	sim := simmpi.New(topo)
+	rec := trace.NewRecorder()
+	sim, err := simmpi.NewWithOptions(topo, simmpi.Options{Tracer: rec})
+	check(err)
 	for r, prog := range sched.Programs() {
 		sim.SetProgram(r, prog)
 	}
-	rec := trace.NewRecorder()
-	sim.SetTracer(rec)
 	res, err := sim.Run()
 	check(err)
 

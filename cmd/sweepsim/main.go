@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"repro/internal/apps"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/machine"
@@ -26,12 +27,8 @@ func main() {
 	htile := flag.Int("htile", 2, "tile height")
 	iters := flag.Int("iters", 2, "iterations to simulate")
 	cores := flag.Int("cores", 2, "cores per node")
-	shards := flag.Int("shards", 1, "conservative-parallel shard count (results are bit-identical for every sharded count)")
-	hist := flag.Bool("hist", false, "print duration-histogram summaries (recv wait, message latency, link delay)")
-	chromeTrace := flag.String("chrome-trace", "", "write a Chrome trace-event timeline (load in Perfetto) to this file")
-	sampleEvery := flag.Float64("sample-every", 0, "sample time-series metrics every Δt µs into -sample-out")
-	sampleOut := flag.String("sample-out", "samples.csv", "time-series CSV path for -sample-every")
-	traceWindows := flag.Bool("trace-windows", false, "include per-shard lookahead-window tracks in -chrome-trace (these depend on -shards)")
+	shards := cliflags.RegisterShards(flag.CommandLine, 1)
+	obsFlags := cliflags.RegisterObs(flag.CommandLine)
 	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -65,19 +62,15 @@ func main() {
 	sched, err := bm.Schedule(dec, *iters)
 	check(err)
 	topo := simnet.NewTopology(mach.Params, dec.P(), simnet.GridPlacement(dec, mach))
-	sim := simmpi.New(topo)
-	sim.SetShards(*shards)
-	var rec *obs.Recorder
-	if *hist || *chromeTrace != "" || *sampleEvery > 0 {
-		rec = &obs.Recorder{
-			Spans:    *chromeTrace != "" || *sampleEvery > 0,
-			Messages: *chromeTrace != "" || *sampleEvery > 0,
-			Links:    *chromeTrace != "" || *sampleEvery > 0,
-			Windows:  *traceWindows,
-			Hist:     *hist,
+	rec := obsFlags.Recorder()
+	if obsFlags.Hist {
+		if rec == nil {
+			rec = &obs.Recorder{}
 		}
-		sim.SetObs(rec)
+		rec.Hist = true
 	}
+	sim, err := simmpi.NewWithOptions(topo, simmpi.Options{Shards: *shards, Obs: rec})
+	check(err)
 	for r, prog := range sched.Programs() {
 		sim.SetProgram(r, prog)
 	}
@@ -98,43 +91,21 @@ func main() {
 		fmt.Printf("parallel:    %d shards, %d lookahead windows, %d barrier stalls\n",
 			k, windows, stalls)
 	}
-	if *hist && res.Hists != nil {
+	if obsFlags.Hist && res.Hists != nil {
 		fmt.Println("histograms (µs):")
 		res.Hists.Write(os.Stdout)
 	}
-	if *chromeTrace != "" {
-		opt := obs.TimelineOptions{}
-		if ic := topo.Interconnect(); ic != nil {
-			opt.LinkName = ic.LinkName
-		}
-		check(writeArtifact(*chromeTrace, func(f *os.File) error {
-			return obs.WriteTimeline(f, rec, opt)
-		}))
-		fmt.Printf("trace:       %s (open in https://ui.perfetto.dev)\n", *chromeTrace)
+	topt := obs.TimelineOptions{}
+	if ic := topo.Interconnect(); ic != nil {
+		topt.LinkName = ic.LinkName
 	}
-	if *sampleEvery > 0 {
-		check(writeArtifact(*sampleOut, func(f *os.File) error {
-			return obs.WriteSamples(f, rec, *sampleEvery)
-		}))
-		fmt.Printf("samples:     %s (every %gµs)\n", *sampleOut, *sampleEvery)
+	check(obsFlags.WriteArtifacts(rec, topt, nil))
+	if obsFlags.ChromeTrace != "" {
+		fmt.Printf("trace:       %s (open in https://ui.perfetto.dev)\n", obsFlags.ChromeTrace)
 	}
-}
-
-// writeArtifact creates path (parents included) and streams one
-// observability artifact into it.
-func writeArtifact(path string, write func(*os.File) error) error {
-	if err := obs.EnsureParent(path); err != nil {
-		return err
+	if obsFlags.SampleEvery > 0 {
+		fmt.Printf("samples:     %s (every %gµs)\n", obsFlags.SampleOut, obsFlags.SampleEvery)
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 func check(err error) {

@@ -81,8 +81,8 @@ func main() {
 		check(err)
 		t, err := simnet.NewMachineTopology(mach, dec)
 		check(err)
-		sim := simmpi.New(t)
-		sim.SetObs(&obs.Recorder{Hist: true})
+		sim, err := simmpi.NewWithOptions(t, simmpi.Options{Obs: &obs.Recorder{Hist: true}})
+		check(err)
 		for r, p := range sched.Programs() {
 			sim.SetProgram(r, p)
 		}

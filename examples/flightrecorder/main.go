@@ -34,12 +34,15 @@ func main() {
 
 	// The recorder's feature flags choose what is collected; all of them
 	// off (the default) collects nothing, and a nil recorder costs the
-	// simulation nothing at all. Unlike simmpi.SetTracer, SetObs does not
-	// force the simulation serial — a sharded run records the same bytes.
+	// simulation nothing at all. Unlike a span Tracer, an obs.Recorder does
+	// not force the simulation serial — a sharded run records the same
+	// bytes, so Shards and Obs compose freely in one Options value.
 	rec := &obs.Recorder{Spans: true, Messages: true, Links: true, Windows: true, Hist: true}
-	sim := simmpi.New(tp)
-	sim.SetShards(4) // conservative-parallel, bit-identical to serial
-	sim.SetObs(rec)
+	sim, err := simmpi.NewWithOptions(tp, simmpi.Options{
+		Shards: 4, // conservative-parallel, bit-identical to serial
+		Obs:    rec,
+	})
+	check(err)
 	for r, p := range sched.Programs() {
 		sim.SetProgram(r, p)
 	}

@@ -19,6 +19,7 @@
 package campaign
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"strconv"
@@ -225,6 +226,26 @@ func (d AppDim) resolveBase() (apps.Benchmark, error) {
 	}
 }
 
+// sourceKey renders the app dimension's provenance for content addressing:
+// the preset name for built-in benchmarks, or the canonical JSON encoding
+// of a custom spec (deterministic — struct fields in declaration order,
+// map keys sorted). Two textually different specs that happen to describe
+// the same physics hash apart, which costs a cache miss but never risks a
+// wrong hit.
+func (d AppDim) sourceKey() string {
+	if d.Spec != nil {
+		b, err := json.Marshal(d.Spec)
+		if err != nil {
+			// AppSpec round-trips through DecodeStrict before reaching
+			// here, so a marshal failure is unreachable; fail closed with
+			// an unshareable key rather than panic.
+			return "custom:unencodable:" + d.Spec.Name
+		}
+		return "custom:" + string(b)
+	}
+	return "preset:" + strings.ToLower(d.Preset)
+}
+
 // collectiveLabel renders a benchmark's convergence collective for run
 // identity keys and JSONL rows; empty when none is configured.
 func collectiveLabel(bm apps.Benchmark) string {
@@ -349,6 +370,10 @@ type Run struct {
 	bm   apps.Benchmark
 	mach machine.Machine
 	dec  grid.Decomposition
+	// appSrc is the app's provenance for content addressing (runkey.go):
+	// the preset name, or the canonical JSON of a custom spec — the part
+	// of the app's behavior a hash of numeric fields cannot see.
+	appSrc string
 	// shards is the simulator's conservative-parallel shard count. It is
 	// a throughput knob, not part of the run's identity — every sharded
 	// count produces bit-identical results — so it never appears in keys
@@ -383,6 +408,7 @@ func (s Spec) Expand() ([]Run, error) {
 		if err != nil {
 			return nil, err
 		}
+		appSrc := ad.sourceKey()
 		for _, md := range s.Machines {
 			baseMach, label, err := md.resolve()
 			if err != nil {
@@ -409,6 +435,7 @@ func (s Spec) Expand() ([]Run, error) {
 						Collective: collectiveLabel(bm),
 						bm:         bm,
 						mach:       mach,
+						appSrc:     appSrc,
 						shards:     s.Shards,
 					}
 					dec, err := grid.SquareDecomposition(bm.App.Grid, p)

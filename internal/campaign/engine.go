@@ -1,7 +1,9 @@
 package campaign
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -14,14 +16,17 @@ import (
 	"repro/internal/stats"
 )
 
-// RunResult is the record a campaign emits for one run: the run's
-// coordinates, the analytic model's prediction, the simulator's result and
-// the error metrics between them, plus traffic and contention counters.
+// RunResult is the record a campaign emits for one run: the schema version,
+// the run's coordinates, the analytic model's prediction, the simulator's
+// result and the error metrics between them, plus traffic and contention
+// counters.
 //
 // Every exported JSON field is a deterministic function of the run — wall
 // time is kept out of the JSONL encoding so output is byte-identical
-// regardless of worker count or host speed.
+// regardless of worker count, cache state or host speed.
 type RunResult struct {
+	// Schema is the row's schema version (see SchemaVersion).
+	Schema     int    `json:"schema_version"`
 	Index      int    `json:"index"`
 	Campaign   string `json:"campaign"`
 	App        string `json:"app"`
@@ -60,7 +65,7 @@ type RunResult struct {
 	MaxLinkUtil float64 `json:"max_link_util,omitempty"`
 
 	// Hists carries the run's duration-histogram percentiles when the
-	// engine collects them (Engine.Hist); omitted otherwise so rows of
+	// engine collects them (Config.Hist); omitted otherwise so rows of
 	// histogram-less campaigns stay byte-identical to earlier output.
 	// Only shard-invariant histograms appear here — the shard count is not
 	// part of a run's identity, so rows must not depend on it.
@@ -68,9 +73,31 @@ type RunResult struct {
 
 	Error string `json:"error,omitempty"`
 
-	// WallSeconds is the host wall time the run took. It is reported in
-	// summaries but deliberately excluded from JSONL (see type doc).
+	// WallSeconds is the host wall time the run took (zero when the run
+	// was served from a cache or checkpoint). It is reported in summaries
+	// but deliberately excluded from JSONL (see type doc).
 	WallSeconds float64 `json:"-"`
+}
+
+// rehydrate overwrites the result's identity fields from the run it is
+// being served for. Cached results are shared between runs whose content
+// key matches even when their sweep coordinates differ (a relabeled
+// machine, a different expansion index), so the physics comes from the
+// cache and the coordinates always come from the run at hand — making a
+// warm-cache row byte-identical to a cold one.
+func (res *RunResult) rehydrate(r Run) {
+	res.Schema = SchemaVersion
+	res.Index = r.Index
+	res.Campaign = r.Campaign
+	res.App = r.App
+	res.Grid = r.Grid
+	res.Htile = r.Htile
+	res.Machine = r.Machine
+	res.Override = r.Override
+	res.P = r.P
+	res.Iterations = r.Iterations
+	res.Collective = r.Collective
+	res.WallSeconds = 0
 }
 
 // HistSummary is the JSONL rendering of one duration histogram: the
@@ -98,13 +125,18 @@ func summarizeHist(h *obs.Hist) HistSummary {
 
 // Engine executes campaign runs on a pool of workers, each owning one
 // reusable simulator.
+//
+// Construct with NewEngine(Config) to get the full serving surface —
+// result cache, checkpoint/resume, range partitioning, filters, output
+// writing and Stats(). The zero-value literal form (Engine{Workers: 8})
+// remains valid for plain in-memory execution; its exported fields mirror
+// the corresponding Config knobs.
 type Engine struct {
 	// Workers is the pool size; non-positive means GOMAXPROCS.
 	Workers int
 	// Shards, if positive, overrides the spec's simulator shard count for
-	// every run (simmpi.Sim.SetShards). Every sharded count (≥ 2) yields
-	// bit-identical results — the override only trades worker-level for
-	// shard-level parallelism.
+	// every run. Every sharded count (≥ 2) yields bit-identical results —
+	// the override only trades worker-level for shard-level parallelism.
 	Shards int
 	// Progress, if non-nil, is called after each run completes with the
 	// completed and total counts. Calls are serialised.
@@ -119,25 +151,40 @@ type Engine struct {
 	// before Execute; read its streams after.
 	Obs    *obs.Recorder
 	ObsRun int
+
+	// cfg carries the serving-layer configuration when the engine was
+	// built by NewEngine; nil for literal-constructed engines.
+	cfg *Config
+	// stats is the shared counter box (methods use value receivers).
+	stats *execCounters
 }
 
-// recorderFor resolves the flight recorder for a run, or nil.
-func (e Engine) recorderFor(index int) *obs.Recorder {
-	if e.Obs != nil && index == e.ObsRun {
-		if e.Hist {
-			e.Obs.Hist = true
-		}
-		return e.Obs
+// config resolves the effective configuration: the validated Config for
+// NewEngine-built engines, or a Config mirroring the legacy exported
+// fields otherwise.
+func (e Engine) config() Config {
+	if e.cfg != nil {
+		return *e.cfg
 	}
-	if e.Hist {
-		return &obs.Recorder{Hist: true}
+	return Config{
+		Version:  SchemaVersion,
+		Workers:  e.Workers,
+		Shards:   e.Shards,
+		Progress: e.Progress,
+		Hist:     e.Hist,
+		Obs:      e.Obs,
+		ObsRun:   e.ObsRun,
 	}
-	return nil
 }
+
+// Stats reports what the engine did across its Execute/ExecuteSpec calls.
+// Only engines built by NewEngine accumulate stats; literal-constructed
+// engines report zeros.
+func (e Engine) Stats() ExecStats { return e.stats.snapshot() }
 
 // workers resolves the effective pool size for n runs.
-func (e Engine) workers(n int) int {
-	w := e.Workers
+func (c Config) workers(n int) int {
+	w := c.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
@@ -152,61 +199,240 @@ func (e Engine) workers(n int) int {
 
 // Execute runs every run and returns results indexed like the input. The
 // result slice is complete even on error; the returned error is the
-// lowest-indexed run failure. Output is independent of Workers.
+// lowest-indexed run failure. Output is independent of Workers and of the
+// cache state: a run served from the configured ResultStore is
+// byte-identical to a simulated one.
+//
+// When checkpointing is configured, runs[i] is checkpointed under global
+// position i; use ExecuteSpec for range-partitioned campaigns, which
+// offsets positions so every range of one campaign shares a coherent
+// position space.
 func (e Engine) Execute(runs []Run) ([]RunResult, error) {
+	return e.executeAt(runs, 0)
+}
+
+// executeAt is Execute with an explicit global position offset: runs[i]
+// has position pos0+i in the campaign's output, the space checkpoint
+// records are keyed by.
+func (e Engine) executeAt(runs []Run, pos0 int) ([]RunResult, error) {
+	cfg := e.config()
 	results := make([]RunResult, len(runs))
 	if len(runs) == 0 {
 		return results, nil
 	}
+
+	// Checkpoint recovery: load once, then skip any run whose position is
+	// already recorded with a matching content key (a stale directory from
+	// an edited spec fails the key match and re-executes).
+	var recovered map[int]CheckpointEntry
+	var ckpt *checkpointWriter
+	if cfg.CheckpointDir != "" {
+		var err error
+		recovered, err = LoadCheckpoints(cfg.CheckpointDir)
+		if err != nil {
+			return results, err
+		}
+		ckpt, err = newCheckpointWriter(cfg.CheckpointDir, Range{Lo: pos0, Hi: pos0 + len(runs)})
+		if err != nil {
+			return results, err
+		}
+		defer ckpt.close()
+	}
+
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
+	var tally ExecStats
 	done := 0
-	for w := e.workers(len(runs)); w > 0; w-- {
+	ckptErr := make([]error, cfg.workers(len(runs)))
+	finish := func(i int, simulated, cacheHit, ckptHit bool) {
+		mu.Lock()
+		done++
+		tally.Runs++
+		if simulated {
+			tally.Simulated++
+		}
+		if cacheHit {
+			tally.CacheHits++
+		}
+		if ckptHit {
+			tally.CheckpointHits++
+		}
+		if cfg.OnResult != nil {
+			cfg.OnResult(results[i])
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(done, len(runs))
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < cfg.workers(len(runs)); w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			var sim *simmpi.Sim // lazily built, then reused via Reset
+			var scratch []byte  // content-key buffer, reused across runs
 			for i := range jobs {
-				results[i] = executeRun(runs[i], e, &sim)
-				if e.Progress != nil {
-					mu.Lock()
-					done++
-					e.Progress(done, len(runs))
-					mu.Unlock()
+				r := runs[i]
+				pos := pos0 + i
+
+				// The flight-recorded run always simulates: its purpose is
+				// the recorder's streams, which caches cannot serve.
+				bypass := cfg.Obs != nil && r.Index == cfg.ObsRun
+
+				var key RunKey
+				needKey := ckpt != nil || (cfg.Store != nil && !bypass)
+				if needKey {
+					shards := cfg.Shards
+					if shards <= 0 {
+						shards = r.shards
+					}
+					key, scratch = r.ContentKey(KeyMode{Hist: cfg.Hist, Canon: shards > 1}, scratch)
 				}
+
+				if !bypass {
+					if ent, ok := recovered[pos]; ok && ent.Key == key {
+						var res RunResult
+						if err := json.Unmarshal(ent.Row, &res); err == nil {
+							res.rehydrate(r)
+							results[i] = res
+							finish(i, false, false, true)
+							continue
+						}
+					}
+					if cfg.Store != nil {
+						if res, ok := cfg.Store.Get(key); ok {
+							res.rehydrate(r)
+							results[i] = res
+							if ckpt != nil {
+								if row, err := json.Marshal(&res); err == nil {
+									if err := ckpt.append(pos, key, row); err != nil {
+										ckptErr[w] = err
+									}
+								}
+							}
+							finish(i, false, true, false)
+							continue
+						}
+					}
+				}
+
+				res := executeRun(r, cfg, &sim)
+				results[i] = res
+				if res.Error == "" {
+					if cfg.Store != nil && !bypass {
+						cfg.Store.Put(key, res)
+					}
+					if ckpt != nil {
+						if row, err := json.Marshal(&res); err == nil {
+							if err := ckpt.append(pos, key, row); err != nil {
+								ckptErr[w] = err
+							}
+						}
+					}
+				}
+				finish(i, true, false, false)
 			}
-		}()
+		}(w)
 	}
 	for i := range runs {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
+	e.stats.add(tally)
 	for i := range results {
 		if results[i].Error != "" {
 			return results, fmt.Errorf("campaign: run %s: %s", runs[i].Key(), results[i].Error)
 		}
 	}
+	for _, err := range ckptErr {
+		if err != nil {
+			return results, err
+		}
+	}
 	return results, nil
 }
 
-// ExecuteSpec expands the spec and executes it in one call.
+// ExecuteSpec expands the spec and executes it under the engine's full
+// configuration: the Filter restricts the expansion, RangePart/RangeParts
+// select this process's slice of it (checkpoint positions stay global, so
+// every range of a campaign shares one coherent space), and Output — if
+// set — is created before anything executes and receives the results as
+// JSONL (the completed prefix is written even when a run fails).
+//
+// The returned results cover only this process's range. An expansion left
+// empty by the filter is an error — a silently empty campaign is always a
+// typo in the filter or the spec.
 func (e Engine) ExecuteSpec(s Spec) ([]RunResult, error) {
+	cfg := e.config()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	runs, err := s.Expand()
 	if err != nil {
 		return nil, err
 	}
-	return e.Execute(runs)
+	if cfg.Filter != "" {
+		f, err := ParseFilter(cfg.Filter)
+		if err != nil {
+			return nil, err
+		}
+		runs = f.Apply(runs)
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("campaign: %q has no runs after filtering", s.Name)
+	}
+	pos0 := 0
+	if cfg.RangeParts > 1 {
+		parts := Ranges(len(runs), cfg.RangeParts)
+		if cfg.RangePart >= len(parts) {
+			// More parts than runs: trailing parts are legitimately empty.
+			return []RunResult{}, nil
+		}
+		rg := parts[cfg.RangePart]
+		runs = runs[rg.Lo:rg.Hi]
+		pos0 = rg.Lo
+	}
+
+	// Open the output before executing: an unwritable path must fail here,
+	// not after minutes of sweeping. Parent directories are created.
+	var outFile *os.File
+	if cfg.Output != "" {
+		if err := obs.EnsureParent(cfg.Output); err != nil {
+			return nil, fmt.Errorf("campaign: creating output directory: %w", err)
+		}
+		f, err := os.Create(cfg.Output)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: opening output: %w", err)
+		}
+		outFile = f
+	}
+
+	results, execErr := e.executeAt(runs, pos0)
+	if outFile != nil {
+		if err := WriteJSONL(outFile, results); err != nil {
+			outFile.Close()
+			if execErr == nil {
+				execErr = err
+			}
+			return results, execErr
+		}
+		if err := outFile.Close(); err != nil && execErr == nil {
+			execErr = err
+		}
+	}
+	return results, execErr
 }
 
 // executeRun evaluates the analytic model and the simulator for one run.
-// e supplies the shard override and observability options. simp points at
-// the worker's simulator slot: nil on the worker's first run, Reset and
+// cfg supplies the shard override and observability options. simp points
+// at the worker's simulator slot: nil on the worker's first run, Reset and
 // reused afterwards.
-func executeRun(r Run, e Engine, simp **simmpi.Sim) RunResult {
+func executeRun(r Run, cfg Config, simp **simmpi.Sim) RunResult {
 	start := time.Now()
 	out := RunResult{
+		Schema:     SchemaVersion,
 		Index:      r.Index,
 		Campaign:   r.Campaign,
 		App:        r.App,
@@ -237,21 +463,21 @@ func executeRun(r Run, e Engine, simp **simmpi.Sim) RunResult {
 	if err != nil {
 		return fail(err)
 	}
-	if *simp == nil {
-		*simp = simmpi.New(topo)
-	} else {
-		(*simp).Reset(topo)
-	}
-	sim := *simp
-	shards := e.Shards
+	shards := cfg.Shards
 	if shards <= 0 {
 		shards = r.shards
 	}
-	sim.SetShards(shards)
-	rec := e.recorderFor(r.Index)
-	if rec != nil {
-		sim.SetObs(rec)
+	opt := simmpi.Options{Shards: shards, Obs: cfg.recorderFor(r.Index)}
+	if *simp == nil {
+		s, err := simmpi.NewWithOptions(topo, opt)
+		if err != nil {
+			return fail(err)
+		}
+		*simp = s
+	} else if err := (*simp).ResetWithOptions(topo, opt); err != nil {
+		return fail(err)
 	}
+	sim := *simp
 	for rank, prog := range sched.Programs() {
 		sim.SetProgram(rank, prog)
 	}
@@ -278,7 +504,7 @@ func executeRun(r Run, e Engine, simp **simmpi.Sim) RunResult {
 			out.MaxLinkUtil = ic.MaxLinkBusy() / res.Time
 		}
 	}
-	if e.Hist && res.Hists != nil {
+	if cfg.Hist && res.Hists != nil {
 		rh := &RunHists{
 			RecvWait:   summarizeHist(&res.Hists.RecvWait),
 			MsgLatency: summarizeHist(&res.Hists.MsgLatency),

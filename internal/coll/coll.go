@@ -187,13 +187,15 @@ func (r *Runner) Run(m machine.Machine, ranks int, c Collective) (simmpi.Result,
 	if err := t.AttachInterconnect(m.Interconnect); err != nil {
 		return simmpi.Result{}, err
 	}
+	opt := simmpi.Options{Obs: r.Obs}
 	if r.sim == nil {
-		r.sim = simmpi.New(t)
-	} else {
-		r.sim.Reset(t)
-	}
-	if r.Obs != nil {
-		r.sim.SetObs(r.Obs)
+		sim, err := simmpi.NewWithOptions(t, opt)
+		if err != nil {
+			return simmpi.Result{}, err
+		}
+		r.sim = sim
+	} else if err := r.sim.ResetWithOptions(t, opt); err != nil {
+		return simmpi.Result{}, err
 	}
 	op := c.Op()
 	for rank := 0; rank < ranks; rank++ {

@@ -121,12 +121,14 @@ func TestTraceCommShareTracksModelBreakdown(t *testing.T) {
 		t.Fatal(err)
 	}
 	topo := simnet.NewTopology(mach.Params, dec.P(), simnet.GridPlacement(dec, mach))
-	sim := simmpi.New(topo)
+	rec := trace.NewRecorder()
+	sim, err := simmpi.NewWithOptions(topo, simmpi.Options{Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for r, p := range sched.Programs() {
 		sim.SetProgram(r, p)
 	}
-	rec := trace.NewRecorder()
-	sim.SetTracer(rec)
 	if _, err := sim.Run(); err != nil {
 		t.Fatal(err)
 	}

@@ -47,10 +47,9 @@ func runFlight(t *testing.T, edge, n, m, shards int, rec *obs.Recorder) simmpi.R
 	if err := tp.AttachInterconnect(topo.Spec{Kind: topo.Torus2D}); err != nil {
 		t.Fatal(err)
 	}
-	sim := simmpi.New(tp)
-	sim.SetShards(shards)
-	if rec != nil {
-		sim.SetObs(rec)
+	sim, err := simmpi.NewWithOptions(tp, simmpi.Options{Shards: shards, Obs: rec})
+	if err != nil {
+		t.Fatal(err)
 	}
 	for r, p := range sched.Programs() {
 		sim.SetProgram(r, p)

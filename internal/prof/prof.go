@@ -4,10 +4,10 @@
 // every tool spelling the same three flags the same way keeps
 // `go tool pprof`/`go tool trace` workflows uniform across the repo.
 //
-// The runtime execution-trace flag is -exectrace; the old -trace spelling
-// is kept as a deprecated alias so existing invocations keep working, and
-// to free the plain name for the simulator's own trace outputs
-// (-chrome-trace timelines).
+// The runtime execution-trace flag is -exectrace. The old -trace spelling
+// was removed after a deprecation period — the plain name is reserved for
+// the simulator's own trace outputs (-chrome-trace timelines) — and the
+// flag set's usage text points anyone still typing it at the new name.
 package prof
 
 import (
@@ -29,15 +29,25 @@ type Flags struct {
 
 // Register declares -cpuprofile, -memprofile and -exectrace on the given
 // flag set (use flag.CommandLine for a command's top level) and returns
-// the struct the parsed values land in. -trace is accepted as a deprecated
-// alias for -exectrace; both StringVars share one field, so the last one
-// given wins.
+// the struct the parsed values land in.
+//
+// The removed -trace alias gets a breadcrumb: the flag set's usage text —
+// which flag.Parse prints on any unknown flag, -trace included — leads
+// with a pointer to -exectrace.
 func Register(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit")
 	fs.StringVar(&f.Trace, "exectrace", "", "write a runtime execution trace to this file")
-	fs.StringVar(&f.Trace, "trace", "", "deprecated alias for -exectrace")
+	prev := fs.Usage
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "note: the -trace flag was renamed -exectrace")
+		if prev != nil {
+			prev()
+		} else {
+			fs.PrintDefaults()
+		}
+	}
 	return f
 }
 

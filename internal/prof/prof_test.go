@@ -1,0 +1,45 @@
+package prof
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestRemovedTraceAliasPointsToExectrace: the -trace alias is gone, and
+// anyone still typing it gets an unknown-flag error whose usage text leads
+// with the rename pointer.
+func TestRemovedTraceAliasPointsToExectrace(t *testing.T) {
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	Register(fs)
+
+	if fs.Lookup("trace") != nil {
+		t.Fatal("-trace is still registered")
+	}
+	if err := fs.Parse([]string{"-trace=out.trace"}); err == nil {
+		t.Fatal("parsing -trace succeeded, want unknown-flag error")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "renamed -exectrace") {
+		t.Errorf("usage output lacks the rename pointer:\n%s", out)
+	}
+	if !strings.Contains(out, "-exectrace") || !strings.Contains(out, "-cpuprofile") {
+		t.Errorf("usage output lacks the flag listing:\n%s", out)
+	}
+}
+
+// TestRegisterFlags: the three profiling flags parse into their fields.
+func TestRegisterFlags(t *testing.T) {
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	fs.SetOutput(&bytes.Buffer{})
+	f := Register(fs)
+	if err := fs.Parse([]string{"-cpuprofile=c.pb", "-memprofile=m.pb", "-exectrace=t.out"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.CPU != "c.pb" || f.Mem != "m.pb" || f.Trace != "t.out" {
+		t.Errorf("parsed %+v", *f)
+	}
+}

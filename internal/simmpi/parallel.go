@@ -131,6 +131,10 @@ type parRun struct {
 // same-time event order (events.go) even when they fall back to one shard,
 // so results are bit-identical for every requested count k > 1.
 // The setting survives Reset.
+//
+// Deprecated: pass Options{Shards: k} to NewWithOptions or
+// ResetWithOptions instead, which rejects the tracer+shards conflict at
+// configuration time rather than degrading silently at Run.
 func (s *Sim) SetShards(k int) {
 	if k < 1 {
 		k = 1

@@ -394,6 +394,10 @@ func (s *Sim) SetProgram(r int, p Program) { s.ranks[r].prog = p }
 // SetTracer installs a span tracer; pass nil to disable. A Sim with a
 // tracer always executes serially: span callbacks are not synchronised
 // across shard goroutines.
+//
+// Deprecated: pass Options{Tracer: t} to NewWithOptions or
+// ResetWithOptions instead, which rejects the tracer+shards conflict at
+// configuration time rather than degrading silently at Run.
 func (s *Sim) SetTracer(t Tracer) { s.tracer = t }
 
 // SetObs attaches a flight recorder (internal/obs); pass nil to disable.
@@ -403,6 +407,9 @@ func (s *Sim) SetTracer(t Tracer) { s.tracer = t }
 // window events only from single-threaded barrier code, so the recording
 // is deterministic for every shard count. Set the recorder's feature flags
 // before Run; Reset detaches it.
+//
+// Deprecated: pass Options{Obs: r} to NewWithOptions or ResetWithOptions
+// instead.
 func (s *Sim) SetObs(r *obs.Recorder) { s.obs = r }
 
 // Run executes the simulation to completion. It returns an error if any

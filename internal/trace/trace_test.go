@@ -73,12 +73,14 @@ func runTraced(t *testing.T) (*Recorder, simmpi.Result, int) {
 		t.Fatal(err)
 	}
 	topo := simnet.NewTopology(mach.Params, dec.P(), simnet.GridPlacement(dec, mach))
-	sim := simmpi.New(topo)
+	rec := NewRecorder()
+	sim, err := simmpi.NewWithOptions(topo, simmpi.Options{Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for r, p := range sched.Programs() {
 		sim.SetProgram(r, p)
 	}
-	rec := NewRecorder()
-	sim.SetTracer(rec)
 	res, err := sim.Run()
 	if err != nil {
 		t.Fatal(err)
