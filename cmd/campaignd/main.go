@@ -25,57 +25,138 @@
 // With -cache-dir the cache is tiered: an in-memory LRU in front of a
 // persistent JSONL file in that directory, so a restarted daemon keeps its
 // accumulated results.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight responses
+// get a drain window, then the disk cache and profiles are flushed and
+// closed before exit.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/cliflags"
 	"repro/internal/prof"
 )
 
+// daemonFlags is campaignd's flag surface; registration is separated from
+// run so tests can pin the inventory against the shared cliflags registry.
+type daemonFlags struct {
+	addr      *string
+	workers   *int
+	shards    *int
+	hist      *bool
+	cacheSize *int
+	cacheDir  *string
+	prof      *prof.Flags
+}
+
+func registerFlags(fs *flag.FlagSet) daemonFlags {
+	return daemonFlags{
+		addr:      fs.String("addr", ":8080", "listen address"),
+		workers:   cliflags.RegisterWorkers(fs),
+		shards:    cliflags.RegisterShards(fs, 0),
+		hist:      cliflags.RegisterHist(fs),
+		cacheSize: fs.Int("cache-size", 0, "in-memory cache capacity in results (default 65536)"),
+		cacheDir:  fs.String("cache-dir", "", "persist the cache to cache.jsonl in this directory (tiered under the in-memory LRU)"),
+		prof:      prof.Register(fs),
+	}
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	workers := cliflags.RegisterWorkers(flag.CommandLine)
-	shards := cliflags.RegisterShards(flag.CommandLine, 0)
-	hist := flag.Bool("hist", false, "attach duration-histogram percentiles to every run's JSONL row")
-	cacheSize := flag.Int("cache-size", 0, "in-memory cache capacity in results (default 65536)")
-	cacheDir := flag.String("cache-dir", "", "persist the cache to cache.jsonl in this directory (tiered under the in-memory LRU)")
-	pf := prof.Register(flag.CommandLine)
-	flag.Parse()
+	if err := run(os.Args[1:], nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "campaignd:", err)
+		os.Exit(1)
+	}
+}
 
-	stopProf, err := pf.Start()
-	check(err)
-	defer func() { check(stopProf()) }()
+// run is the daemon body: it returns (rather than os.Exit-ing) so the
+// deferred cleanups — disk-cache close, profile flush, listener close —
+// execute on every path, including serve errors and signal-triggered
+// shutdown. ready, if non-nil, receives the bound address once the
+// listener is up; closing stop requests the same graceful shutdown a
+// SIGINT/SIGTERM would (both are for tests — main passes nil).
+func run(args []string, ready chan<- string, stop <-chan struct{}) (err error) {
+	fs := flag.NewFlagSet("campaignd", flag.ContinueOnError)
+	f := registerFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	var store campaign.ResultStore = campaign.NewMemoryStore(*cacheSize)
-	if *cacheDir != "" {
-		disk, err := campaign.OpenDiskStore(filepath.Join(*cacheDir, "cache.jsonl"))
-		check(err)
-		defer disk.Close()
+	stopProf, err := f.prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, stopProf()) }()
+
+	var store campaign.ResultStore = campaign.NewMemoryStore(*f.cacheSize)
+	if *f.cacheDir != "" {
+		disk, derr := campaign.OpenDiskStore(filepath.Join(*f.cacheDir, "cache.jsonl"))
+		if derr != nil {
+			return derr
+		}
+		defer func() { err = errors.Join(err, disk.Close()) }()
 		store = campaign.NewTieredStore(store, disk)
 	}
 
 	srv, err := campaign.NewServer(campaign.Config{
-		Workers: *workers,
-		Shards:  *shards,
-		Hist:    *hist,
+		Workers: *f.workers,
+		Shards:  *f.shards,
+		Hist:    *f.hist,
 		Store:   store,
 	})
-	check(err)
-
-	fmt.Printf("campaignd: listening on %s (POST a spec to /v1/campaigns)\n", *addr)
-	check(http.ListenAndServe(*addr, srv.Handler()))
-}
-
-func check(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "campaignd:", err)
-		os.Exit(1)
+		return err
 	}
+
+	ln, err := net.Listen("tcp", *f.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		// Results of a large campaign stream as one response; give the
+		// writer a generous but bounded window so a stalled client cannot
+		// pin a connection forever.
+		WriteTimeout: 10 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	fmt.Printf("campaignd: listening on %s (POST a spec to /v1/campaigns)\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// Serve only returns before Shutdown on listener failure.
+		return err
+	case <-ctx.Done():
+	case <-stop:
+	}
+
+	sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	<-serveErr // drain the ErrServerClosed that Shutdown makes Serve return
+	return nil
 }

@@ -11,13 +11,15 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/cliflags"
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/grid"
-	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/prof"
+	"repro/internal/replay"
 	"repro/internal/simmpi"
 	"repro/internal/simnet"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -27,6 +29,8 @@ func main() {
 	htile := flag.Int("htile", 2, "tile height")
 	iters := flag.Int("iters", 2, "iterations to simulate")
 	cores := flag.Int("cores", 2, "cores per node")
+	wlJSON := flag.String("workload", "", `per-tile workload spec as inline JSON, e.g. '{"dist":"lognormal","sigma":0.4,"seed":7}' (see internal/workload)`)
+	recordTrace := flag.String("record-trace", "", "record the run's op trace to this JSONL file (replay with cmd/replay)")
 	shards := cliflags.RegisterShards(flag.CommandLine, 1)
 	obsFlags := cliflags.RegisterObs(flag.CommandLine)
 	pf := prof.Register(flag.CommandLine)
@@ -51,7 +55,18 @@ func main() {
 	}
 	bm = bm.WithIterations(*iters)
 
-	mach, err := machine.XT4MultiCore(*cores)
+	var wl workload.Spec
+	if *wlJSON != "" {
+		if err := config.DecodeStrict([]byte(*wlJSON), &wl); err != nil {
+			check(fmt.Errorf("-workload: %w", err))
+		}
+		bm = bm.WithWorkload(wl)
+	}
+
+	// The machine is built from its config spec so a recorded trace
+	// header describes exactly the hardware this run simulated.
+	mspec := config.MachineSpec{Preset: "xt4", CoresPerNode: *cores}
+	mach, err := mspec.Machine()
 	check(err)
 	dec, err := grid.SquareDecomposition(g, *p)
 	check(err)
@@ -61,13 +76,20 @@ func main() {
 
 	sched, err := bm.Schedule(dec, *iters)
 	check(err)
-	topo := simnet.NewTopology(mach.Params, dec.P(), simnet.GridPlacement(dec, mach))
+	topo, err := simnet.NewMachineTopology(mach, dec)
+	check(err)
 	rec := obsFlags.Recorder()
 	if obsFlags.Hist {
 		if rec == nil {
 			rec = &obs.Recorder{}
 		}
 		rec.Hist = true
+	}
+	if *recordTrace != "" {
+		if rec == nil {
+			rec = &obs.Recorder{}
+		}
+		rec.Ops = true
 	}
 	sim, err := simmpi.NewWithOptions(topo, simmpi.Options{Shards: *shards, Obs: rec})
 	check(err)
@@ -91,6 +113,22 @@ func main() {
 		fmt.Printf("parallel:    %d shards, %d lookahead windows, %d barrier stalls\n",
 			k, windows, stalls)
 	}
+	if *recordTrace != "" {
+		hdr := replay.Header{
+			App:      bm.App.Name,
+			Workload: workloadLabel(bm),
+			Machine:  mspec,
+			Grid:     config.GridSpec{Nx: g.Nx, Ny: g.Ny, Nz: g.Nz},
+			DecN:     dec.N,
+			DecM:     dec.M,
+		}.WithResult(res)
+		check(obs.EnsureParent(*recordTrace))
+		tf, err := os.Create(*recordTrace)
+		check(err)
+		check(replay.Write(tf, hdr, rec))
+		check(tf.Close())
+		fmt.Printf("trace:       %s (replay with `replay -in %s`)\n", *recordTrace, *recordTrace)
+	}
 	if obsFlags.Hist && res.Hists != nil {
 		fmt.Println("histograms (µs):")
 		res.Hists.Write(os.Stdout)
@@ -106,6 +144,13 @@ func main() {
 	if obsFlags.SampleEvery > 0 {
 		fmt.Printf("samples:     %s (every %gµs)\n", obsFlags.SampleOut, obsFlags.SampleEvery)
 	}
+}
+
+func workloadLabel(bm apps.Benchmark) string {
+	if bm.Workload == nil {
+		return ""
+	}
+	return bm.Workload.String()
 }
 
 func check(err error) {

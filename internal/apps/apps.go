@@ -21,6 +21,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/simmpi"
 	"repro/internal/wavefront"
+	"repro/internal/workload"
 )
 
 // GrindTime is the calibrated computation time per cell per angle in µs.
@@ -52,6 +53,11 @@ type Benchmark struct {
 	// Table 3 configurations.
 	ConvBytes int
 	ConvAlg   simmpi.CollAlg
+
+	// Workload, if non-nil, perturbs the simulator's per-tile compute
+	// cost (see WithWorkload). The analytic model keeps the paper's
+	// uniform-compute assumption regardless.
+	Workload *workload.Spec
 
 	// nonWFBase is the benchmark's NonWavefront before WithConvergence
 	// wrapped it, so repeated WithConvergence calls replace the collective
@@ -251,6 +257,19 @@ func (b Benchmark) WithConvergence(bytes int, alg simmpi.CollAlg) Benchmark {
 	return b
 }
 
+// WithWorkload returns a copy whose simulator schedules draw per-tile
+// compute costs from the given workload spec: base × mul + noise, with
+// mul and noise pure seeded functions of (rank, sweep, tile) — load
+// imbalance, OS noise and multi-block regions (see internal/workload).
+// Only the simulator side changes; the analytic model deliberately
+// keeps the paper's uniform-compute assumption, so the model-vs-
+// simulator error under imbalance is the measured quantity. A uniform
+// spec (the zero value) leaves schedules bit-identical to no workload.
+func (b Benchmark) WithWorkload(spec workload.Spec) Benchmark {
+	b.Workload = &spec
+	return b
+}
+
 // Schedule builds the simulator schedule of one iteration batch of the
 // benchmark on the given decomposition.
 func (b Benchmark) Schedule(dec grid.Decomposition, iterations int) (*wavefront.Schedule, error) {
@@ -274,6 +293,13 @@ func (b Benchmark) Schedule(dec grid.Decomposition, iterations int) (*wavefront.
 		InterOps:   inter,
 		ConvBytes:  b.ConvBytes,
 		ConvAlg:    b.ConvAlg,
+	}
+	if b.Workload != nil {
+		gen, err := workload.New(*b.Workload, dec)
+		if err != nil {
+			return nil, fmt.Errorf("apps: %s workload: %w", b.App.Name, err)
+		}
+		s.Tile = gen.Tile
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package campaign
 import (
 	"repro/internal/config"
 	"repro/internal/topo"
+	"repro/internal/workload"
 )
 
 // Example returns a small built-in campaign (24 runs, a couple of seconds)
@@ -134,6 +135,64 @@ func Collectives() Spec {
 	}
 }
 
+// Workloads returns the load-imbalance sweep: two paper benchmarks under
+// fifteen per-tile workload variants — the implicit uniform baseline,
+// bounded-uniform, normal and lognormal imbalance at several spreads and
+// seeds, persistent hotspot ranks, OS-noise injection, and multi-block
+// regions — across single- and dual-core XT4 nodes, three rank counts and
+// three network perturbations (540 runs). Every variant is a distinct app
+// dimension value with its own RunKey; the analytic model keeps the
+// paper's uniform-compute assumption throughout, so the sweep maps where
+// (and how fast) the model's accuracy decays as the uniformity assumption
+// is violated.
+func Workloads() Spec {
+	g := config.GridSpec{Nx: 24, Ny: 24, Nz: 24}
+	wl := func(s workload.Spec) *config.WorkloadSpec { return &s }
+	variants := []*config.WorkloadSpec{
+		nil, // uniform-compute baseline: bit-identical to the pre-workload runs
+		wl(workload.Spec{Dist: workload.DistUniform, Sigma: 0.2, Seed: 1}),
+		wl(workload.Spec{Dist: workload.DistNormal, Sigma: 0.1, Seed: 1}),
+		wl(workload.Spec{Dist: workload.DistNormal, Sigma: 0.3, Seed: 1}),
+		wl(workload.Spec{Dist: workload.DistNormal, Sigma: 0.3, Seed: 2}),
+		wl(workload.Spec{Dist: workload.DistLognormal, Sigma: 0.3, Seed: 1}),
+		wl(workload.Spec{Dist: workload.DistLognormal, Sigma: 0.6, Seed: 1}),
+		wl(workload.Spec{Dist: workload.DistLognormal, Sigma: 0.6, Seed: 2}),
+		wl(workload.Spec{Dist: workload.DistHotspot, HotFrac: 0.1, HotMul: 4, Seed: 1}),
+		wl(workload.Spec{Dist: workload.DistHotspot, HotFrac: 0.25, HotMul: 2, Seed: 1}),
+		wl(workload.Spec{Dist: workload.DistHotspot, HotFrac: 0.1, HotMul: 3, Seed: 2,
+			Noise: &workload.NoiseSpec{Rate: 0.25, AmpUS: 50}}),
+		wl(workload.Spec{Dist: workload.DistUniform,
+			Noise: &workload.NoiseSpec{Rate: 1, AmpUS: 10}}),
+		wl(workload.Spec{Dist: workload.DistLognormal, Sigma: 0.4, Seed: 7,
+			Noise: &workload.NoiseSpec{Rate: 0.5, AmpUS: 25}}),
+		wl(workload.Spec{Dist: workload.DistUniform,
+			Blocks: []workload.Block{{X0: 0, Y0: 0, X1: 0.5, Y1: 0.5, Mul: 2}}}),
+		wl(workload.Spec{Dist: workload.DistLognormal, Sigma: 0.3, Seed: 3,
+			Blocks: []workload.Block{{X0: 0.5, Y0: 0.5, X1: 1, Y1: 1, Mul: 0.5}}}),
+	}
+	var dims []AppDim
+	for _, preset := range []string{"sweep3d", "lu"} {
+		for _, w := range variants {
+			dims = append(dims, AppDim{Preset: preset, Grid: &g, Workload: w})
+		}
+	}
+	return Spec{
+		Name:       "workloads",
+		Iterations: 1,
+		Apps:       dims,
+		Machines: []MachineDim{
+			{MachineSpec: config.MachineSpec{Preset: "xt4", CoresPerNode: 1}},
+			{MachineSpec: config.MachineSpec{Preset: "xt4", CoresPerNode: 2}},
+		},
+		Ranks: []int{4, 16, 36},
+		LogGP: []ParamOverride{
+			{Name: "baseline"},
+			{Name: "slow-net", Scale: map[string]float64{"L": 4, "G": 2}},
+			{Name: "fast-net", Scale: map[string]float64{"L": 0.5, "G": 0.5}},
+		},
+	}
+}
+
 // Builtin resolves a built-in spec by name; ok is false for unknown names.
 func Builtin(name string) (Spec, bool) {
 	switch name {
@@ -145,11 +204,13 @@ func Builtin(name string) (Spec, bool) {
 		return Topologies(), true
 	case "collectives":
 		return Collectives(), true
+	case "workloads":
+		return Workloads(), true
 	}
 	return Spec{}, false
 }
 
 // BuiltinNames lists the built-in campaign names.
 func BuiltinNames() []string {
-	return []string{"example", "flagship", "topologies", "collectives"}
+	return []string{"example", "flagship", "topologies", "collectives", "workloads"}
 }

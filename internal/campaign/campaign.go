@@ -74,6 +74,14 @@ type AppDim struct {
 	// preset with different algorithms is a legitimate app dimension: the
 	// algorithm is part of the run's identity.
 	Convergence *config.ConvergenceSpec `json:"convergence,omitempty"`
+	// Workload attaches a seeded per-tile compute workload
+	// (internal/workload) to the app: a load-imbalance distribution,
+	// OS-noise injection and/or multi-block regions. Sweeping the same
+	// preset under different workloads is a legitimate app dimension —
+	// the workload perturbs the simulator while the analytic model keeps
+	// its uniform-compute assumption, so the model-vs-simulator error
+	// under imbalance is the measured quantity.
+	Workload *config.WorkloadSpec `json:"workload,omitempty"`
 }
 
 // MachineDim is one value of the machine dimension; it is a
@@ -189,6 +197,15 @@ func (d AppDim) resolve() (apps.Benchmark, error) {
 			return zero, fmt.Errorf("campaign: %w", err)
 		}
 	}
+	if d.Workload != nil {
+		if d.Spec != nil && d.Spec.Workload != nil {
+			return zero, fmt.Errorf("campaign: custom app %q carries its own workload spec — drop the outer one", d.Spec.Name)
+		}
+		if err := d.Workload.Validate(); err != nil {
+			return zero, fmt.Errorf("campaign: %w", err)
+		}
+		bm = bm.WithWorkload(*d.Workload)
+	}
 	return bm, nil
 }
 
@@ -255,6 +272,15 @@ func collectiveLabel(bm apps.Benchmark) string {
 	return coll.Collective{Kind: coll.Allreduce, Alg: bm.ConvAlg, Bytes: bm.ConvBytes}.String()
 }
 
+// workloadLabel renders a benchmark's per-tile workload spec for run
+// identity keys and JSONL rows; empty for the implicit uniform workload.
+func workloadLabel(bm apps.Benchmark) string {
+	if bm.Workload == nil {
+		return ""
+	}
+	return bm.Workload.String()
+}
+
 // resolveMachine materialises one machine dimension value and its label.
 func (d MachineDim) resolve() (machine.Machine, string, error) {
 	m, err := d.MachineSpec.Machine()
@@ -307,10 +333,12 @@ func (s Spec) Validate() error {
 		if err != nil {
 			return fmt.Errorf("%w (apps[%d])", err, i)
 		}
-		// Htile and the convergence collective are part of the identity:
-		// sweeping tile heights (paper Figure 5) or collective algorithms
-		// of one benchmark are legitimate app dimensions.
-		key := fmt.Sprintf("%s/%s/h%d/%s", bm.App.Name, bm.App.Grid, bm.App.Htile, collectiveLabel(bm))
+		// Htile, the convergence collective and the workload are part of
+		// the identity: sweeping tile heights (paper Figure 5), collective
+		// algorithms or workload perturbations of one benchmark are
+		// legitimate app dimensions.
+		key := fmt.Sprintf("%s/%s/h%d/%s/%s", bm.App.Name, bm.App.Grid, bm.App.Htile,
+			collectiveLabel(bm), workloadLabel(bm))
 		if seenApp[key] {
 			return fmt.Errorf("campaign: spec %q lists app %s twice", s.Name, key)
 		}
@@ -366,6 +394,9 @@ type Run struct {
 	// Collective names the per-iteration convergence collective, e.g.
 	// "allreduce/ring/8B"; empty when the run has none.
 	Collective string
+	// Workload names the app's per-tile workload spec, e.g.
+	// "lognormal(σ=0.4,seed=7)"; empty for the implicit uniform workload.
+	Workload string
 
 	bm   apps.Benchmark
 	mach machine.Machine
@@ -386,6 +417,9 @@ func (r Run) Key() string {
 	app := fmt.Sprintf("%s/%s/h%d", r.App, r.Grid, r.Htile)
 	if r.Collective != "" {
 		app += "+" + r.Collective
+	}
+	if r.Workload != "" {
+		app += "+" + r.Workload
 	}
 	return fmt.Sprintf("%s × %s × %s × P=%d", app, r.Machine, r.Override, r.P)
 }
@@ -433,6 +467,7 @@ func (s Spec) Expand() ([]Run, error) {
 						P:          p,
 						Iterations: iters,
 						Collective: collectiveLabel(bm),
+						Workload:   workloadLabel(bm),
 						bm:         bm,
 						mach:       mach,
 						appSrc:     appSrc,
@@ -462,14 +497,14 @@ func (s Spec) Expand() ([]Run, error) {
 // Filter restricts a run list by dimension values. The zero Filter matches
 // everything.
 type Filter struct {
-	Apps, Machines, Overrides, Grids []string
-	Ps                               []int
+	Apps, Machines, Overrides, Grids, Workloads []string
+	Ps                                          []int
 }
 
 // ParseFilter parses a comma-separated list of key=value constraints, e.g.
 // "app=LU|Sweep3D,p=64,override=baseline". Keys: app, machine, grid,
-// override, p. Alternatives within a key are separated by "|"; distinct
-// keys must all match.
+// override, workload, p. Alternatives within a key are separated by "|";
+// distinct keys must all match.
 func ParseFilter(expr string) (Filter, error) {
 	var f Filter
 	if strings.TrimSpace(expr) == "" {
@@ -490,6 +525,8 @@ func ParseFilter(expr string) (Filter, error) {
 			f.Grids = append(f.Grids, vals...)
 		case "override":
 			f.Overrides = append(f.Overrides, vals...)
+		case "workload":
+			f.Workloads = append(f.Workloads, vals...)
 		case "p", "ranks":
 			for _, v := range vals {
 				p, err := strconv.Atoi(strings.TrimSpace(v))
@@ -499,7 +536,7 @@ func ParseFilter(expr string) (Filter, error) {
 				f.Ps = append(f.Ps, p)
 			}
 		default:
-			return f, fmt.Errorf("campaign: unknown filter key %q (want app, machine, grid, override or p)", key)
+			return f, fmt.Errorf("campaign: unknown filter key %q (want app, machine, grid, override, workload or p)", key)
 		}
 	}
 	return f, nil
@@ -522,7 +559,8 @@ func matchAny(vals []string, v string) bool {
 // String constraints match case-insensitively, exact or substring.
 func (f Filter) Match(r Run) bool {
 	if !matchAny(f.Apps, r.App) || !matchAny(f.Machines, r.Machine) ||
-		!matchAny(f.Grids, r.Grid) || !matchAny(f.Overrides, r.Override) {
+		!matchAny(f.Grids, r.Grid) || !matchAny(f.Overrides, r.Override) ||
+		!matchAny(f.Workloads, r.Workload) {
 		return false
 	}
 	if len(f.Ps) > 0 {

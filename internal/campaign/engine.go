@@ -47,6 +47,12 @@ type RunResult struct {
 	// rows stay byte-identical to pre-collectives output.
 	Collective string `json:"collective,omitempty"`
 
+	// Workload names the app's per-tile workload spec, e.g.
+	// "lognormal(σ=0.4,seed=7)+noise(0.5×25µs)". It is omitted for the
+	// implicit uniform workload so workload-less rows stay byte-identical
+	// to pre-workload output.
+	Workload string `json:"workload,omitempty"`
+
 	ModelMicros float64 `json:"model_us"`
 	SimMicros   float64 `json:"sim_us"`
 	RelErr      float64 `json:"rel_err"` // signed, (model − sim)/sim
@@ -97,6 +103,7 @@ func (res *RunResult) rehydrate(r Run) {
 	res.P = r.P
 	res.Iterations = r.Iterations
 	res.Collective = r.Collective
+	res.Workload = r.Workload
 	res.WallSeconds = 0
 }
 
@@ -443,6 +450,7 @@ func executeRun(r Run, cfg Config, simp **simmpi.Sim) RunResult {
 		P:          r.P,
 		Iterations: r.Iterations,
 		Collective: r.Collective,
+		Workload:   r.Workload,
 	}
 	fail := func(err error) RunResult {
 		out.Error = err.Error()

@@ -11,7 +11,8 @@ import (
 // canonical serialization of everything that determines the run's result —
 // the application (including a custom spec's full JSON), problem grid, tile
 // height, per-run boundary message sizes, convergence collective, iteration
-// count, the machine's LogGP parameters after overrides, node shape and
+// count, the attached workload spec (every distribution, noise and block
+// knob), the machine's LogGP parameters after overrides, node shape and
 // interconnect, the rank count and decomposition, and the two execution-
 // mode bits that change output bytes (histogram collection and the
 // canonical-vs-legacy event order).
@@ -107,6 +108,33 @@ func (r Run) ContentKey(mode KeyMode, scratch []byte) (RunKey, []byte) {
 	i(r.bm.ConvBytes)
 	i(int(r.bm.ConvAlg))
 	i(r.Iterations)
+
+	// Workload: every knob of the per-tile compute perturbation. The block
+	// is appended only when a workload is attached, so the keys of all
+	// workload-less runs are unchanged from pre-workload releases and their
+	// cached results stay valid.
+	if wl := r.bm.Workload; wl != nil {
+		b = append(b, "workload|"...)
+		s(wl.Dist)
+		b = strconv.AppendUint(b, wl.Seed, 10)
+		b = append(b, '|')
+		f(wl.Sigma)
+		f(wl.HotFrac)
+		f(wl.HotMul)
+		if n := wl.Noise; n != nil {
+			b = append(b, "noise|"...)
+			f(n.Rate)
+			f(n.AmpUS)
+		}
+		i(len(wl.Blocks))
+		for _, blk := range wl.Blocks {
+			f(blk.X0)
+			f(blk.Y0)
+			f(blk.X1)
+			f(blk.Y1)
+			f(blk.Mul)
+		}
+	}
 
 	// Machine: physical parameters only (names excluded — see type doc).
 	p := r.mach.Params

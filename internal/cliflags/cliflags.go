@@ -31,10 +31,21 @@ type ObsFlags struct {
 	TraceWindows bool
 }
 
+// histUsage is the one help text of -hist, shared by RegisterObs and
+// RegisterHist so every command documents the flag identically.
+const histUsage = "attach duration-histogram percentiles (recv wait, message latency, link delay)"
+
+// RegisterHist declares the standalone -hist flag on fs — for commands
+// (campaignd) that collect histograms without the rest of the
+// observability surface.
+func RegisterHist(fs *flag.FlagSet) *bool {
+	return fs.Bool("hist", false, histUsage)
+}
+
 // RegisterObs declares the shared observability flags on fs.
 func RegisterObs(fs *flag.FlagSet) *ObsFlags {
 	var o ObsFlags
-	fs.BoolVar(&o.Hist, "hist", false, "attach duration-histogram percentiles (recv wait, message latency, link delay)")
+	fs.BoolVar(&o.Hist, "hist", false, histUsage)
 	fs.StringVar(&o.ChromeTrace, "chrome-trace", "", "write a Chrome trace-event timeline (load in Perfetto) to this file")
 	fs.Float64Var(&o.SampleEvery, "sample-every", 0, "sample time-series metrics every Δt µs into -sample-out")
 	fs.StringVar(&o.SampleOut, "sample-out", "samples.csv", "time-series CSV path for -sample-every")

@@ -23,6 +23,7 @@ import (
 	"repro/internal/simmpi"
 	"repro/internal/topo"
 	"repro/internal/wavefront"
+	"repro/internal/workload"
 )
 
 // GridSpec is a problem size.
@@ -78,6 +79,13 @@ func (c ConvergenceSpec) Apply(bm apps.Benchmark) (apps.Benchmark, error) {
 	return bm.WithConvergence(c.Bytes, alg), nil
 }
 
+// WorkloadSpec parameterises the per-tile workload generator: seeded
+// load-imbalance distributions, OS-noise injection, and multi-block
+// regions (see internal/workload for field semantics). It perturbs the
+// simulator's per-tile compute only; the analytic model keeps the
+// paper's uniform-compute assumption.
+type WorkloadSpec = workload.Spec
+
 // AppSpec is the JSON form of the paper's Table 3 application parameters.
 type AppSpec struct {
 	Name  string   `json:"name"`
@@ -102,6 +110,10 @@ type AppSpec struct {
 	// Convergence, when set, adds a per-iteration convergence all-reduce
 	// executed by a simulated collective algorithm (internal/coll).
 	Convergence *ConvergenceSpec `json:"convergence,omitempty"`
+
+	// Workload, when set, perturbs the simulator's per-tile compute cost
+	// with seeded imbalance/noise (see WorkloadSpec).
+	Workload *WorkloadSpec `json:"workload,omitempty"`
 }
 
 // MachineSpec is the JSON form of a platform description.
@@ -197,6 +209,12 @@ func (s AppSpec) Benchmark() (apps.Benchmark, error) {
 		if err != nil {
 			return zero, fmt.Errorf("%w (app %q)", err, s.Name)
 		}
+	}
+	if s.Workload != nil {
+		if err := s.Workload.Validate(); err != nil {
+			return zero, fmt.Errorf("config: app %q: %w", s.Name, err)
+		}
+		bm = bm.WithWorkload(*s.Workload)
 	}
 	if err := bm.App.Validate(); err != nil {
 		return zero, err

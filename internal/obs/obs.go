@@ -84,6 +84,17 @@ type LinkEvent struct {
 	Link  int32
 }
 
+// OpEvent is one program operation exactly as the simulator consumed it
+// from Program.Next — pre-expansion for collectives, durations
+// bit-exact. A recorded op stream is a complete, replayable description
+// of a rank's program (see internal/replay).
+type OpEvent struct {
+	Dur   float64
+	Peer  int32
+	Bytes int32
+	Kind  uint8
+}
+
 // WindowEvent is one shard's view of one lookahead window.
 type WindowEvent struct {
 	Start, End float64
@@ -115,8 +126,13 @@ type Recorder struct {
 	Windows bool
 	// Hist accumulates the duration histograms.
 	Hist bool
+	// Ops records per-rank program op streams (trace recording for
+	// internal/replay). Ops arrive in program order from the shard that
+	// owns the rank, so the stream is deterministic for any shard count.
+	Ops bool
 
 	spans   [][]Span
+	ops     [][]OpEvent
 	msgs    []MsgEvent
 	links   []LinkEvent
 	windows []WindowEvent
@@ -134,6 +150,15 @@ func (r *Recorder) PrepareRanks(n int) {
 	for i := range r.spans {
 		r.spans[i] = r.spans[i][:0]
 	}
+	if r.Ops {
+		if cap(r.ops) < n {
+			r.ops = append(r.ops[:cap(r.ops)], make([][]OpEvent, n-cap(r.ops))...)
+		}
+		r.ops = r.ops[:n]
+		for i := range r.ops {
+			r.ops[i] = r.ops[i][:0]
+		}
+	}
 }
 
 // Ranks returns the rank count of the prepared run.
@@ -147,6 +172,16 @@ func (r *Recorder) RankSpan(rank int32, kind uint8, peer, bytes int32, start, en
 		Start: start, End: end, Rank: rank, Peer: peer, Bytes: bytes, Kind: kind,
 	})
 }
+
+// RankOp records one program operation. Like RankSpan, each rank's ops
+// arrive in program order from the shard that owns the rank; distinct
+// ranks may be recorded concurrently.
+func (r *Recorder) RankOp(rank int32, kind uint8, peer, bytes int32, dur float64) {
+	r.ops[rank] = append(r.ops[rank], OpEvent{Dur: dur, Peer: peer, Bytes: bytes, Kind: kind})
+}
+
+// RankOps returns rank's recorded op stream (aliased, not copied).
+func (r *Recorder) RankOps(rank int) []OpEvent { return r.ops[rank] }
 
 // AddMessages appends a batch of completed messages (a shard's scratch,
 // folded in at the end of a run).
@@ -192,6 +227,10 @@ func (r *Recorder) Reset() {
 		r.spans[i] = r.spans[i][:0]
 	}
 	r.spans = r.spans[:0]
+	for i := range r.ops {
+		r.ops[i] = r.ops[i][:0]
+	}
+	r.ops = r.ops[:0]
 	r.msgs = r.msgs[:0]
 	r.links = r.links[:0]
 	r.windows = r.windows[:0]

@@ -251,6 +251,7 @@ type shard struct {
 	obs         *obs.Recorder
 	obsSpans    bool
 	obsMsg      bool
+	obsOps      bool
 	hists       *obs.SimHists // points at histScratch when enabled, else nil
 	histScratch obs.SimHists
 	obsMsgs     []obs.MsgEvent
@@ -325,6 +326,7 @@ func (sh *shard) bind() {
 	sh.obs = s.obs
 	sh.obsSpans = s.obs != nil && s.obs.Spans
 	sh.obsMsg = s.obs != nil && s.obs.Messages
+	sh.obsOps = s.obs != nil && s.obs.Ops
 	sh.hists = nil
 	if s.obs != nil && s.obs.Hist {
 		sh.histScratch.Reset()
@@ -537,6 +539,12 @@ func (sh *shard) advance(r *rankState) {
 			if !ok {
 				sh.finish(r)
 				return
+			}
+			// Record the op pre-expansion: collective constituents are
+			// re-derived deterministically on replay, so the trace stays
+			// proportional to the program, not to P × collective size.
+			if sh.obsOps {
+				sh.obs.RankOp(r.id, uint8(op.Kind), op.Peer, op.Bytes, op.Dur)
 			}
 			if expandsToP2P(op) {
 				r.coll = AppendCollective(r.coll[:0], op, int(r.id), len(sh.ranks))

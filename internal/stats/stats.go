@@ -146,25 +146,30 @@ func (s *Stream) Var() float64 {
 func (s *Stream) Std() float64 { return math.Sqrt(s.Var()) }
 
 // Percentile returns the p-quantile (0 ≤ p ≤ 1) of xs by linear
-// interpolation between order statistics. It panics on an empty slice or a
-// p outside [0, 1]; xs is not modified.
+// interpolation between order statistics; xs is not modified. The edge
+// cases are defined, not panics: an empty xs yields 0 (the convention of
+// Stream's empty-stream accessors), and a p that is NaN or outside [0, 1]
+// yields NaN — an impossible quantile a report renders as "NaN" instead of
+// crashing the sweep that computed thousands of valid rows.
 func Percentile(xs []float64, p float64) float64 {
 	return Percentiles(xs, p)[0]
 }
 
 // Percentiles returns the quantiles of xs at each p in ps, sharing one sort
-// of a copy of xs across all of them.
+// of a copy of xs across all of them. Edge cases follow Percentile: an
+// empty xs yields all zeros, an invalid p yields NaN for that entry only.
 func Percentiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
 	if len(xs) == 0 {
-		panic("stats: percentile of empty slice")
+		return out
 	}
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
-	out := make([]float64, len(ps))
 	for i, p := range ps {
 		if p < 0 || p > 1 || math.IsNaN(p) {
-			panic(fmt.Sprintf("stats: percentile %v outside [0, 1]", p))
+			out[i] = math.NaN()
+			continue
 		}
 		pos := p * float64(len(sorted)-1)
 		lo := int(math.Floor(pos))

@@ -163,16 +163,19 @@ func TestPercentiles(t *testing.T) {
 	if Percentile([]float64{7}, 0.5) != 7 {
 		t.Error("single-element percentile")
 	}
-	mustPanic(t, func() { Percentile(nil, 0.5) })
-	mustPanic(t, func() { Percentile(xs, 1.5) })
-}
-
-func mustPanic(t *testing.T, f func()) {
-	t.Helper()
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	f()
+	// Defined edge behavior: empty input yields zeros, invalid p yields
+	// NaN for that entry only — neither panics.
+	if got := Percentiles(nil, 0, 0.5, 1); got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Errorf("empty input: got %v, want zeros", got)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+	mixed := Percentiles(xs, -0.1, 0.5, 1.5, math.NaN())
+	if !math.IsNaN(mixed[0]) || !math.IsNaN(mixed[2]) || !math.IsNaN(mixed[3]) {
+		t.Errorf("invalid p entries = %v, want NaN", mixed)
+	}
+	if mixed[1] != 3 {
+		t.Errorf("valid p alongside invalid ones = %v, want 3", mixed[1])
+	}
 }

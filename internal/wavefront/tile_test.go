@@ -1,0 +1,117 @@
+package wavefront
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/simmpi"
+)
+
+func tileSched(t *testing.T, wpre float64, tile func(rank, sweep, tile int) (float64, float64)) *Schedule {
+	t.Helper()
+	s := &Schedule{
+		Dec:        grid.MustDecompose(grid.NewGrid(8, 8, 8), 2, 2),
+		Corners:    []grid.Corner{grid.NW, grid.SE},
+		Htile:      2,
+		WPre:       wpre,
+		W:          10,
+		BytesEW:    64,
+		BytesNS:    64,
+		Iterations: 2,
+		Tile:       tile,
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return s
+}
+
+func drain(t *testing.T, p simmpi.Program) []simmpi.Op {
+	t.Helper()
+	var ops []simmpi.Op
+	for {
+		op, ok := p.Next()
+		if !ok {
+			return ops
+		}
+		ops = append(ops, op)
+		if len(ops) > 1<<16 {
+			t.Fatal("program did not terminate")
+		}
+	}
+}
+
+// A nil Tile and an identity Tile must produce identical op streams —
+// the bit-exactness contract the uniform workload relies on.
+func TestTileIdentityMatchesNil(t *testing.T) {
+	for _, wpre := range []float64{0, 3} {
+		base := tileSched(t, wpre, nil)
+		ident := tileSched(t, wpre, func(int, int, int) (float64, float64) { return 1, 0 })
+		for r := 0; r < base.Dec.P(); r++ {
+			a, b := drain(t, base.Program(r)), drain(t, ident.Program(r))
+			if len(a) != len(b) {
+				t.Fatalf("wpre=%v rank %d: op counts differ (%d vs %d)", wpre, r, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("wpre=%v rank %d op %d: %+v vs %+v", wpre, r, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// A varying Tile must patch both computes of every tile with that
+// tile's own multiplier and put the additive term on the post-receive
+// compute only.
+func TestTilePatchesPerTile(t *testing.T) {
+	mul := func(rank, sweep, tile int) float64 {
+		return 1 + float64(rank)/10 + float64(sweep)/100 + float64(tile)/1000
+	}
+	s := tileSched(t, 3, func(rank, sweep, tile int) (float64, float64) {
+		return mul(rank, sweep, tile), float64(tile)
+	})
+	for r := 0; r < s.Dec.P(); r++ {
+		ops := drain(t, s.Program(r))
+		tilesPerSweep := s.TilesPerStack()
+		sweep, tile, computes := 0, 0, 0
+		for _, op := range ops {
+			if op.Kind != simmpi.OpCompute {
+				continue
+			}
+			m := mul(r, sweep, tile)
+			var want float64
+			if computes == 0 {
+				want = s.WPre * m
+			} else {
+				want = s.W*m + float64(tile)
+			}
+			if op.Dur != want {
+				t.Fatalf("rank %d sweep %d tile %d compute %d: dur %v, want %v",
+					r, sweep, tile, computes, op.Dur, want)
+			}
+			computes++
+			if computes == 2 {
+				computes = 0
+				tile++
+				if tile == tilesPerSweep {
+					tile = 0
+					sweep++
+					if sweep == len(s.Corners) {
+						sweep = 0 // next iteration
+					}
+				}
+			}
+		}
+	}
+}
+
+// Negative returns are clamped to zero durations, never negative.
+func TestTileClampsNegative(t *testing.T) {
+	s := tileSched(t, 3, func(int, int, int) (float64, float64) { return -2, -5 })
+	for _, op := range drain(t, s.Program(0)) {
+		if op.Kind == simmpi.OpCompute && op.Dur != 0 {
+			t.Fatalf("compute dur %v, want 0 after clamping", op.Dur)
+		}
+	}
+}

@@ -175,6 +175,18 @@ type Schedule struct {
 	// (the default) changes nothing: existing schedules are untouched.
 	ConvBytes int
 	ConvAlg   simmpi.CollAlg
+
+	// Tile, if non-nil, makes per-tile compute cost a function instead
+	// of a constant: for each (rank, sweep, tile) it returns a
+	// multiplier applied to both WPre and W and an additive extra in µs
+	// added to the post-receive compute (workload imbalance and OS
+	// noise — see internal/workload). It must be a pure function of its
+	// arguments: programs may be re-generated and replayed, and shards
+	// evaluate ranks in nondeterministic wall-clock order. A nil Tile —
+	// or one returning exactly (1, 0) everywhere — leaves the schedule
+	// bit-identical to the constant-cost path. Negative results are
+	// clamped to zero: simulated time cannot run backwards.
+	Tile func(rank, sweep, tile int) (mul, extraUS float64)
 }
 
 // Validate reports configuration errors.
@@ -259,12 +271,47 @@ type rankProgram struct {
 	inInter  bool
 	convDone bool // convergence all-reduce emitted for this iteration
 	done     bool
+
+	// preIx and wIx locate the pre-receive and post-receive compute ops
+	// inside tileOps when a Tile cost function is attached; -1 when
+	// absent. sweepOps allocates the template fresh per sweep, so
+	// patching durations in place is safe.
+	preIx, wIx int
 }
 
 func (p *rankProgram) loadSweep() {
 	p.tileOps = p.sched.sweepOps(p.rank, p.sched.Corners[p.sweep])
 	p.tile = 0
 	p.stage = 0
+	if p.sched.Tile != nil {
+		p.preIx, p.wIx = -1, -1
+		for i := range p.tileOps {
+			if p.tileOps[i].Kind == simmpi.OpCompute {
+				if p.wIx >= 0 { // second compute: the first was the pre-compute
+					p.preIx, p.wIx = p.wIx, i
+				} else {
+					p.wIx = i
+				}
+			}
+		}
+		p.patchTile()
+	}
+}
+
+// patchTile rewrites the current tile's compute durations from the
+// schedule's Tile cost function.
+func (p *rankProgram) patchTile() {
+	mul, extra := p.sched.Tile(p.rank, p.sweep, p.tile)
+	if mul < 0 {
+		mul = 0
+	}
+	if extra < 0 {
+		extra = 0
+	}
+	if p.preIx >= 0 {
+		p.tileOps[p.preIx].Dur = p.sched.WPre * mul
+	}
+	p.tileOps[p.wIx].Dur = p.sched.W*mul + extra
 }
 
 // Next implements simmpi.Program. The within-tile case is the hot path —
@@ -318,6 +365,9 @@ func (p *rankProgram) nextSlow() (simmpi.Op, bool) {
 		p.tile++
 		p.stage = 0
 		if p.tile < s.TilesPerStack() {
+			if s.Tile != nil {
+				p.patchTile()
+			}
 			continue
 		}
 		// Sweep finished.
