@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/apps"
@@ -17,25 +18,48 @@ import (
 	"repro/internal/metrics"
 )
 
-func main() {
-	app := flag.String("app", "sweep3d", "benchmark: sweep3d, chimaera")
-	cube := flag.Int("cube", 1000, "problem size (cube edge, cells)")
-	pavail := flag.Int("pavail", 131072, "available processor count")
-	steps := flag.Float64("steps", 1e4, "time steps per simulation")
-	groups := flag.Float64("groups", 30, "energy groups (multiplies runtime)")
-	minPart := flag.Int("minpartition", 4096, "smallest partition to consider")
-	flag.Parse()
+// plannerFlags is the command's flag surface; registration is separated
+// from run so tests can pin the inventory.
+type plannerFlags struct {
+	app     *string
+	htile   *int
+	cube    *int
+	pavail  *int
+	steps   *float64
+	groups  *float64
+	minPart *int
+}
 
-	g := grid.Cube(*cube)
-	var bm apps.Benchmark
-	switch *app {
-	case "sweep3d":
-		bm = apps.Sweep3D(g, 2)
-	case "chimaera":
-		bm = apps.Chimaera(g, 2)
-	default:
-		fmt.Fprintf(os.Stderr, "planner: unknown app %q\n", *app)
-		os.Exit(2)
+func registerFlags(fs *flag.FlagSet) plannerFlags {
+	return plannerFlags{
+		app:     fs.String("app", "sweep3d", "benchmark preset: lu, sweep3d, chimaera"),
+		htile:   fs.Int("htile", 0, "tile height (default: the preset's own — LU 1, Sweep3D 2, Chimaera 1)"),
+		cube:    fs.Int("cube", 1000, "problem size (cube edge, cells)"),
+		pavail:  fs.Int("pavail", 131072, "available processor count"),
+		steps:   fs.Float64("steps", 1e4, "time steps per simulation"),
+		groups:  fs.Float64("groups", 30, "energy groups (multiplies runtime)"),
+		minPart: fs.Int("minpartition", 4096, "smallest partition to consider"),
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "planner:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("planner", flag.ContinueOnError)
+	f := registerFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g := grid.Cube(*f.cube)
+	bm, err := apps.Preset(*f.app, g, *f.htile)
+	if err != nil {
+		return err
 	}
 	mach := machine.XT4()
 	eval := func(p int) (float64, error) {
@@ -43,19 +67,18 @@ func main() {
 		if err != nil {
 			return 0, err
 		}
-		return rep.Total * *groups * *steps, nil
+		return rep.Total * *f.groups * *f.steps, nil
 	}
 
-	fmt.Printf("# %s %v on %s, %g steps × %g groups\n", bm.App.Name, g, mach.Name, *steps, *groups)
-	fmt.Printf("%10s %14s %16s %12s %12s\n", "partition", "jobs", "R (days)", "R/X (norm)", "steps/month")
+	fmt.Fprintf(out, "# %s %v on %s, %g steps × %g groups\n", bm.App.Name, g, mach.Name, *f.steps, *f.groups)
+	fmt.Fprintf(out, "%10s %14s %16s %12s %12s\n", "partition", "jobs", "R (days)", "R/X (norm)", "steps/month")
 	var jobs []int
-	for j := 1; *pavail/j >= *minPart; j *= 2 {
+	for j := 1; *f.pavail/j >= *f.minPart; j *= 2 {
 		jobs = append(jobs, j)
 	}
-	points, err := metrics.Partitions(*pavail, jobs, eval)
+	points, err := metrics.Partitions(*f.pavail, jobs, eval)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "planner:", err)
-		os.Exit(1)
+		return err
 	}
 	minRX := points[0].RoverX
 	for _, p := range points {
@@ -64,12 +87,13 @@ func main() {
 		}
 	}
 	for _, p := range points {
-		fmt.Printf("%10d %14d %16.2f %12.3f %12.1f\n",
+		fmt.Fprintf(out, "%10d %14d %16.2f %12.3f %12.1f\n",
 			p.Partition, p.Jobs, p.R/1e6/86400, p.RoverX/minRX,
-			metrics.TimeStepsPerMonth(p.R / *steps))
+			metrics.TimeStepsPerMonth(p.R / *f.steps))
 	}
 	a, _ := metrics.Optimal(points, metrics.MinRoverX)
 	b, _ := metrics.Optimal(points, metrics.MinR2overX)
-	fmt.Printf("\nrecommendation: min R/X → %d jobs on %d-core partitions; min R²/X → %d jobs on %d-core partitions\n",
+	fmt.Fprintf(out, "\nrecommendation: min R/X → %d jobs on %d-core partitions; min R²/X → %d jobs on %d-core partitions\n",
 		a.Jobs, a.Partition, b.Jobs, b.Partition)
+	return nil
 }

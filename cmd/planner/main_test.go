@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestFlagInventory pins planner's flag surface.
+func TestFlagInventory(t *testing.T) {
+	fs := flag.NewFlagSet("planner", flag.ContinueOnError)
+	registerFlags(fs)
+	var got []string
+	fs.VisitAll(func(f *flag.Flag) { got = append(got, f.Name) })
+	sort.Strings(got)
+	want := []string{"app", "cube", "groups", "htile", "minpartition", "pavail", "steps"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("flag inventory drifted:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestRunOutput smoke-tests the default invocation (kept small via -cube):
+// the header, the table and the recommendation line must all appear.
+func TestRunOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-cube", "100", "-pavail", "16384"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"# Sweep3D", "partition", "steps/month", "recommendation: min R/X"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunAllPresets: every preset the shared resolver knows — including
+// lu, which the old hand-rolled switch lacked — plans without error.
+func TestRunAllPresets(t *testing.T) {
+	for _, app := range []string{"lu", "sweep3d", "chimaera"} {
+		var out bytes.Buffer
+		if err := run([]string{"-app", app, "-cube", "100", "-pavail", "16384"}, &out); err != nil {
+			t.Errorf("run -app %s: %v", app, err)
+		}
+	}
+}
+
+// TestRunUnknownApp: an unknown preset is an error return, not os.Exit.
+func TestRunUnknownApp(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-app", "hydra"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown app preset") {
+		t.Errorf("unknown app: %v", err)
+	}
+}

@@ -1,0 +1,269 @@
+package hypothesis
+
+import (
+	"repro/internal/campaign"
+	"repro/internal/config"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// defaultSeeds are the workload seeds every builtin experiment runs under.
+var defaultSeeds = []uint64{42, 123, 456}
+
+// mildLognormal is the workload every builtin arm carries: enough per-tile
+// spread that the seeds produce genuinely different executions, small
+// enough that it does not drown the effect under test. The seed here is a
+// placeholder — the harness substitutes each experiment seed into both
+// arms.
+func mildLognormal() *config.WorkloadSpec {
+	return &config.WorkloadSpec{Dist: workload.DistLognormal, Sigma: 0.1, Seed: 1}
+}
+
+// dualXT4 is the workhorse machine of the builtin suite.
+func dualXT4(ic *topo.Spec) campaign.MachineDim {
+	return campaign.MachineDim{MachineSpec: config.MachineSpec{
+		Preset: "xt4", CoresPerNode: 2, Interconnect: ic,
+	}}
+}
+
+// collectiveArm builds a one-app LU spec whose convergence collective is
+// the experiment's variable.
+func collectiveArm(name, alg string, bytes, ranks int) campaign.Spec {
+	g := config.GridSpec{Nx: 24, Ny: 24, Nz: 24}
+	return campaign.Spec{
+		Name:       name,
+		Iterations: 1,
+		Apps: []campaign.AppDim{{
+			Preset: "lu", Grid: &g,
+			Convergence: &config.ConvergenceSpec{Bytes: bytes, Alg: alg},
+			Workload:    mildLognormal(),
+		}},
+		Machines: []campaign.MachineDim{dualXT4(&topo.Spec{Kind: topo.Torus2D})},
+		Ranks:    []int{ranks},
+	}
+}
+
+// ringVsRecdoubleLarge is the paper's collective crossover at a large
+// payload: at 1 MiB and 64 ranks the ring's pipelined chunks beat
+// recursive doubling's log₂P full-payload rounds. (At 256 KiB recursive
+// doubling still wins on this fabric — the crossover sits between the
+// two, which is why the small-payload twin below predicts the opposite
+// sign.)
+func ringVsRecdoubleLarge() Experiment {
+	return Experiment{
+		ID:     "ring-overtakes-recdouble-1m",
+		Title:  "Ring all-reduce overtakes recursive doubling at 1 MiB",
+		Family: "crossover",
+		Hypothesis: "At a 1 MiB convergence payload on 64 torus-connected ranks, switching the " +
+			"all-reduce from recursive doubling to ring decreases simulated runtime: the ring's " +
+			"2(P−1) pipelined chunk transfers beat recursive doubling's log2(P) full-payload rounds " +
+			"once the payload dwarfs per-message overhead.",
+		Metric:    "sim_us",
+		Direction: Decrease,
+		MinEffect: 0.10,
+		Seeds:     defaultSeeds,
+		Baseline:  collectiveArm("recdouble-1m", "recdouble", 1048576, 64),
+		Treatment: collectiveArm("ring-1m", "ring", 1048576, 64),
+	}
+}
+
+// ringVsRecdoubleSmall is the other side of the same crossover: at a tiny
+// payload the ring's extra rounds are pure overhead.
+func ringVsRecdoubleSmall() Experiment {
+	return Experiment{
+		ID:     "ring-loses-at-8-bytes",
+		Title:  "Ring all-reduce loses to recursive doubling at 8 bytes",
+		Family: "crossover",
+		Hypothesis: "At an 8-byte convergence payload on 64 torus-connected ranks, switching the " +
+			"all-reduce from recursive doubling to ring increases simulated runtime: with nothing to " +
+			"pipeline, the ring pays 2(P−1) latencies against recursive doubling's log2(P).",
+		Metric:    "sim_us",
+		Direction: Increase,
+		MinEffect: 0.01,
+		Seeds:     defaultSeeds,
+		Baseline:  collectiveArm("recdouble-8b", "recdouble", 8, 64),
+		Treatment: collectiveArm("ring-8b", "ring", 8, 64),
+	}
+}
+
+// coresArm builds a sweep3d spec over several rank counts on bus-only
+// nodes with the given core count per shared bus.
+func coresArm(name string, cores int) campaign.Spec {
+	g := config.GridSpec{Nx: 24, Ny: 24, Nz: 24}
+	return campaign.Spec{
+		Name:       name,
+		Iterations: 1,
+		Apps: []campaign.AppDim{{
+			Preset: "sweep3d", Grid: &g, Workload: mildLognormal(),
+		}},
+		Machines: []campaign.MachineDim{{MachineSpec: config.MachineSpec{
+			Preset: "xt4", CoresPerNode: cores,
+		}}},
+		Ranks: []int{16, 36, 64},
+	}
+}
+
+// busContentionDrift is the paper's multicore question as an
+// abstraction-error experiment: packing more cores onto one shared bus
+// adds queueing the uncontended LogGP model cannot see, so the model
+// should drift away from the simulator as the bus gets busier. (A 2D
+// torus, by contrast, barely moves the error at these sizes — its hop
+// costs are priced by the model, and per-link queueing stays small —
+// which is why the node bus, not the fabric, carries this hypothesis.)
+func busContentionDrift() Experiment {
+	return Experiment{
+		ID:     "bus-sharing-widens-model-error",
+		Title:  "On-node bus sharing widens the model error",
+		Family: "accuracy-regime",
+		Hypothesis: "Quadrupling the cores per shared node bus from 2 to 8 increases the model's " +
+			"absolute relative error on Sweep3D: every core's boundary exchange queues on one bus, " +
+			"and the analytic model prices each transfer at the uncontended rate.",
+		Metric:    "abs_err",
+		Direction: Increase,
+		MinEffect: 0.5,
+		Seeds:     defaultSeeds,
+		Baseline:  coresArm("sweep3d-2core", 2),
+		Treatment: coresArm("sweep3d-8core", 8),
+	}
+}
+
+// sigmaArm builds an LU spec with a lognormal per-tile workload of the
+// given spread, swept over the fast-net/baseline/slow-net overrides so the
+// link-bandwidth monotonicity invariant has material to chew on.
+func sigmaArm(name string, sigma float64) campaign.Spec {
+	g := config.GridSpec{Nx: 24, Ny: 24, Nz: 24}
+	return campaign.Spec{
+		Name:       name,
+		Iterations: 1,
+		Apps: []campaign.AppDim{{
+			Preset: "lu", Grid: &g,
+			Workload: &config.WorkloadSpec{Dist: workload.DistLognormal, Sigma: sigma, Seed: 1},
+		}},
+		Machines: []campaign.MachineDim{dualXT4(nil)},
+		Ranks:    []int{16, 36},
+		LogGP: []campaign.ParamOverride{
+			{Name: "fast-net", Scale: map[string]float64{"L": 0.5, "G": 0.5}},
+			{Name: "baseline"},
+			{Name: "slow-net", Scale: map[string]float64{"L": 4, "G": 2}},
+		},
+	}
+}
+
+// imbalanceDrift is the workloads-campaign finding as a controlled
+// experiment. The metric is the signed relative error, not its absolute
+// value: at mild spread the uniform-compute model sits ~9% above the
+// simulator, and widening the spread inflates the simulated critical path
+// the model cannot see, dragging the signed error down through zero into
+// underprediction. |rel err| is non-monotone across that zero crossing
+// (it first shrinks, then grows), so the directional claim lives on the
+// signed error.
+func imbalanceDrift() Experiment {
+	return Experiment{
+		ID:     "imbalance-drags-model-optimistic",
+		Title:  "Load imbalance drags the model toward underprediction",
+		Family: "accuracy-regime",
+		Hypothesis: "Raising the lognormal per-tile compute spread from σ=0.1 to σ=0.6 decreases the " +
+			"model's signed relative error on LU: the analytic model keeps the paper's " +
+			"uniform-compute assumption, while the simulator serialises wavefronts behind the " +
+			"slowest tile, so the model slides from overprediction toward underprediction.",
+		Metric:    "rel_err",
+		Direction: Decrease,
+		MinEffect: 0.5,
+		Seeds:     defaultSeeds,
+		Baseline:  sigmaArm("lu-sigma01", 0.1),
+		Treatment: sigmaArm("lu-sigma06", 0.6),
+	}
+}
+
+// rankArm builds a sweep3d spec at one rank count on the bus-only machine.
+func rankArm(name string, ranks int) campaign.Spec {
+	g := config.GridSpec{Nx: 24, Ny: 24, Nz: 24}
+	return campaign.Spec{
+		Name:       name,
+		Iterations: 1,
+		Apps: []campaign.AppDim{{
+			Preset: "sweep3d", Grid: &g, Workload: mildLognormal(),
+		}},
+		Machines: []campaign.MachineDim{dualXT4(nil)},
+		Ranks:    []int{ranks},
+	}
+}
+
+// strongScaling is the sanity-anchor hypothesis: at a fixed problem size,
+// quadrupling the rank count must cut simulated runtime.
+func strongScaling() Experiment {
+	return Experiment{
+		ID:     "strong-scaling-16-to-64",
+		Title:  "Strong scaling: 64 ranks beat 16 on a fixed grid",
+		Family: "monotonicity",
+		Hypothesis: "Raising the rank count from 16 to 64 at a fixed 24³ grid decreases simulated " +
+			"runtime: the per-rank compute shrinks 4×, and at this problem size the extra " +
+			"communication cannot eat the whole gain.",
+		Metric:    "sim_us",
+		Direction: Decrease,
+		MinEffect: 0.10,
+		Seeds:     defaultSeeds,
+		Baseline:  rankArm("sweep3d-p16", 16),
+		Treatment: rankArm("sweep3d-p64", 64),
+	}
+}
+
+// overrideArm builds an LU spec under a single LogGP override.
+func overrideArm(name string, ov campaign.ParamOverride) campaign.Spec {
+	g := config.GridSpec{Nx: 24, Ny: 24, Nz: 24}
+	return campaign.Spec{
+		Name:       name,
+		Iterations: 1,
+		Apps: []campaign.AppDim{{
+			Preset: "lu", Grid: &g, Workload: mildLognormal(),
+		}},
+		Machines: []campaign.MachineDim{dualXT4(nil)},
+		Ranks:    []int{36},
+		LogGP:    []campaign.ParamOverride{ov},
+	}
+}
+
+// slowNetwork is the machine-perturbation hypothesis: an
+// order-of-magnitude network degradation must cost simulated time. (The
+// scale factors are deliberately brutal — at 24³ on 36 ranks LU is
+// compute-bound enough that a mere 4×/2× degradation costs only ~0.5%.)
+func slowNetwork() Experiment {
+	return Experiment{
+		ID:     "slow-network-costs-time",
+		Title:  "A 16× latency / 8× gap network slows LU down",
+		Family: "robustness",
+		Hypothesis: "Scaling the machine's LogGP latency by 16 and gap by 8 increases simulated " +
+			"runtime on 36-rank LU: wavefront pipelining hides some latency, but not an " +
+			"order-of-magnitude degradation.",
+		Metric:    "sim_us",
+		Direction: Increase,
+		MinEffect: 0.01,
+		Seeds:     defaultSeeds,
+		Baseline:  overrideArm("lu-baseline-net", campaign.ParamOverride{Name: "baseline"}),
+		Treatment: overrideArm("lu-slow-net",
+			campaign.ParamOverride{Name: "slow-net", Scale: map[string]float64{"L": 16, "G": 8}}),
+	}
+}
+
+// Builtin returns the builtin experiment suite, in report order.
+func Builtin() []Experiment {
+	return []Experiment{
+		ringVsRecdoubleLarge(),
+		ringVsRecdoubleSmall(),
+		busContentionDrift(),
+		imbalanceDrift(),
+		strongScaling(),
+		slowNetwork(),
+	}
+}
+
+// BuiltinByID resolves a builtin experiment by its ID; ok is false for
+// unknown IDs.
+func BuiltinByID(id string) (Experiment, bool) {
+	for _, e := range Builtin() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -180,6 +180,68 @@ func Percentiles(xs []float64, ps ...float64) []float64 {
 	return out
 }
 
+// RelChange returns the relative change (treat − base)/base of a paired
+// observation — the effect-size primitive of the hypothesis harness:
+// positive when the treatment arm's value is larger. When base is zero the
+// change is reported as treat itself (the SignedRelErr convention), so a
+// zero baseline is defined, not a panic or an infinity.
+func RelChange(base, treat float64) float64 {
+	if base == 0 {
+		return treat
+	}
+	return (treat - base) / base
+}
+
+// PairedRelChange returns the element-wise relative changes between paired
+// baseline and treatment observations. Edge cases are defined, not panics
+// (the Percentiles discipline): mismatched lengths yield nil — an
+// impossible pairing a caller detects with one nil check instead of
+// crashing the sweep that produced the slices — and two empty slices yield
+// an empty, non-nil slice.
+func PairedRelChange(base, treat []float64) []float64 {
+	if len(base) != len(treat) {
+		return nil
+	}
+	out := make([]float64, len(base))
+	for i := range base {
+		out[i] = RelChange(base[i], treat[i])
+	}
+	return out
+}
+
+// Effect summarises a set of per-seed effect sizes by its extremes and
+// median — the three numbers a confirm/refute verdict is rendered from:
+// the sign of every seed (Min and Max straddle zero iff the seeds
+// disagree) and the magnitude of the typical one (Median).
+type Effect struct {
+	N      int     `json:"n"`
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+	Max    float64 `json:"max"`
+}
+
+// EffectOf folds per-seed effect sizes into an Effect. An empty slice
+// yields the zero Effect (the empty-stream convention of Stream and
+// Percentiles).
+func EffectOf(effects []float64) Effect {
+	if len(effects) == 0 {
+		return Effect{}
+	}
+	q := Percentiles(effects, 0, 0.5, 1)
+	return Effect{N: len(effects), Min: q[0], Median: q[1], Max: q[2]}
+}
+
+// Consistent reports whether every summarised effect has the same sign as
+// sign (+1 or −1): the all-seeds-agree condition of a Confirmed or Refuted
+// verdict. A zero effect at any seed, or an empty Effect, is never
+// consistent — "no measurable change" must not confirm a directional claim.
+func (e Effect) Consistent(sign float64) bool {
+	if e.N == 0 {
+		return false
+	}
+	return e.Min*sign > 0 && e.Max*sign > 0
+}
+
 // ErrorSummary aggregates relative errors between prediction/measurement
 // pairs.
 type ErrorSummary struct {

@@ -179,3 +179,83 @@ func TestPercentiles(t *testing.T) {
 		t.Errorf("valid p alongside invalid ones = %v, want 3", mixed[1])
 	}
 }
+
+func TestRelChange(t *testing.T) {
+	cases := []struct{ base, treat, want float64 }{
+		{100, 110, 0.10},
+		{100, 90, -0.10},
+		{100, 100, 0},
+		{0, 7, 7}, // zero baseline: the SignedRelErr convention
+		{0, 0, 0},
+		{-10, -5, -0.5}, // change relative to a negative baseline
+	}
+	for _, c := range cases {
+		if got := RelChange(c.base, c.treat); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RelChange(%v, %v) = %v, want %v", c.base, c.treat, got, c.want)
+		}
+	}
+}
+
+func TestPairedRelChange(t *testing.T) {
+	got := PairedRelChange([]float64{100, 200, 0}, []float64{110, 100, 3})
+	want := []float64{0.1, -0.5, 3}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Defined edge behavior, no panics: mismatched lengths yield nil,
+	// empty inputs yield an empty non-nil slice.
+	if PairedRelChange([]float64{1}, []float64{1, 2}) != nil {
+		t.Error("mismatched lengths should yield nil")
+	}
+	if got := PairedRelChange(nil, nil); got == nil || len(got) != 0 {
+		t.Errorf("empty inputs = %v, want empty non-nil slice", got)
+	}
+	// NaN observations pass through rather than crash.
+	if out := PairedRelChange([]float64{1}, []float64{math.NaN()}); !math.IsNaN(out[0]) {
+		t.Errorf("NaN treat = %v, want NaN", out[0])
+	}
+}
+
+func TestEffectOf(t *testing.T) {
+	e := EffectOf([]float64{0.3, 0.1, 0.2})
+	if e.N != 3 || e.Min != 0.1 || e.Median != 0.2 || e.Max != 0.3 {
+		t.Errorf("EffectOf = %+v", e)
+	}
+	if one := EffectOf([]float64{-0.4}); one.N != 1 || one.Min != -0.4 || one.Median != -0.4 || one.Max != -0.4 {
+		t.Errorf("single-seed effect = %+v", one)
+	}
+	if empty := EffectOf(nil); empty != (Effect{}) {
+		t.Errorf("EffectOf(nil) = %+v, want zero", empty)
+	}
+}
+
+func TestEffectConsistent(t *testing.T) {
+	inc := EffectOf([]float64{0.1, 0.2, 0.3})
+	dec := EffectOf([]float64{-0.1, -0.2, -0.3})
+	mixed := EffectOf([]float64{-0.1, 0.2, 0.3})
+	withZero := EffectOf([]float64{0, 0.2, 0.3})
+	if !inc.Consistent(1) || inc.Consistent(-1) {
+		t.Error("all-positive effect should be consistent with +1 only")
+	}
+	if !dec.Consistent(-1) || dec.Consistent(1) {
+		t.Error("all-negative effect should be consistent with -1 only")
+	}
+	if mixed.Consistent(1) || mixed.Consistent(-1) {
+		t.Error("mixed-sign effect should never be consistent")
+	}
+	if withZero.Consistent(1) {
+		t.Error("a zero effect at any seed must not confirm a direction")
+	}
+	if (Effect{}).Consistent(1) {
+		t.Error("empty effect must not be consistent")
+	}
+	nan := EffectOf([]float64{math.NaN(), 0.1, 0.2})
+	if nan.Consistent(1) {
+		t.Error("NaN effect must not be consistent")
+	}
+}
